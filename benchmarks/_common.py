@@ -1,0 +1,76 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every ``bench_*.py`` file regenerates one experiment from DESIGN.md's
+index.  Each file exposes:
+
+* pytest-benchmark test functions (timing of the hot path), and
+* a ``report()`` function printing the paper-shaped rows — run either
+  via ``python benchmarks/bench_X.py`` or all at once via
+  ``python benchmarks/run_all.py`` (which is how EXPERIMENTS.md is
+  produced).
+
+Wall-clock on a thread-simulated runtime is indicative only; the
+deterministic counters (messages, bytes, barriers, schedule entries)
+carry the comparisons' shape.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.dad import DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.schedule import build_region_schedule, execute_intra
+from repro.simmpi import run_spmd
+
+
+def make_block_pair(shape, src_grid, dst_grid, dtype=np.float64):
+    src = DistArrayDescriptor(block_template(shape, src_grid), dtype)
+    dst = DistArrayDescriptor(block_template(shape, dst_grid), dtype)
+    return src, dst
+
+
+def redistribute_once(src_desc, dst_desc, global_arr, *, schedule=None):
+    """One in-job redistribution; returns (assembled, counters)."""
+    sched = schedule if schedule is not None else \
+        build_region_schedule(src_desc, dst_desc)
+    n = max(src_desc.nranks, dst_desc.nranks)
+
+    def main(comm):
+        src = (DistributedArray.from_global(src_desc, comm.rank, global_arr)
+               if comm.rank < src_desc.nranks else None)
+        dst = (DistributedArray.allocate(dst_desc, comm.rank)
+               if comm.rank < dst_desc.nranks else None)
+        execute_intra(sched, comm, src_array=src, dst_array=dst,
+                      src_ranks=range(src_desc.nranks),
+                      dst_ranks=range(dst_desc.nranks))
+        comm.barrier()
+        return dst, comm.counters.snapshot()
+
+    results = run_spmd(n, main)
+    parts = [r[0] for r in results if r[0] is not None]
+    return DistributedArray.assemble(parts), results[0][1]
+
+
+def timed(fn: Callable[[], object]) -> tuple[float, object]:
+    """(elapsed_seconds, result) of one call."""
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def fmt_table(headers: list[str], rows: list[list]) -> str:
+    """Monospace table for experiment reports."""
+    cols = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cols) for i in range(len(headers))]
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in cols[1:]])
+
+
+def banner(title: str) -> str:
+    return f"\n=== {title} ===\n"

@@ -1,0 +1,59 @@
+"""Ablation A1: the block×block schedule fast path.
+
+The general builder intersects every source region with every
+destination region — O(Rs·Rd).  For pure block templates the fast path
+enumerates only the overlapping blocks by index arithmetic, so its cost
+is proportional to the number of actual transfers.  This ablation
+sweeps the rank count and shows when the fast path starts to matter.
+"""
+
+import numpy as np
+import pytest
+
+from _common import banner, fmt_table, timed
+from repro.dad import DistArrayDescriptor
+from repro.dad.template import block_template
+from repro.schedule import build_block_schedule, build_region_schedule
+
+SHAPE = (128, 128)
+GRIDS = [((2, 2), (4, 1)), ((4, 4), (8, 2)), ((8, 8), (16, 4)),
+         ((16, 16), (32, 8))]
+
+
+def report():
+    print(banner("A1 (ablation): block fast path vs general intersection"))
+    rows = []
+    for src_grid, dst_grid in GRIDS:
+        src = DistArrayDescriptor(block_template(SHAPE, src_grid))
+        dst = DistArrayDescriptor(block_template(SHAPE, dst_grid))
+        t_fast, s_fast = timed(lambda: build_block_schedule(src, dst))
+        t_gen, s_gen = timed(
+            lambda: build_region_schedule(src, dst, force_general=True))
+        assert s_fast.items == s_gen.items
+        m, n = src.nranks, dst.nranks
+        rows.append([f"{m}x{n}", s_fast.message_count,
+                     f"{t_fast * 1e3:.2f}", f"{t_gen * 1e3:.2f}",
+                     f"{t_gen / t_fast:.1f}x"])
+    print(fmt_table(["M x N", "transfers", "fast ms", "general ms",
+                     "speedup"], rows))
+    print("\nThe general path's all-pairs cost grows with M·N; the fast"
+          "\npath tracks the transfer count, so the gap widens with scale"
+          "\n— this is why the dispatcher picks it automatically.")
+
+
+@pytest.mark.parametrize("grids", [GRIDS[2]], ids=["64x64ranks"])
+def test_fast_path(benchmark, grids):
+    src = DistArrayDescriptor(block_template(SHAPE, grids[0]))
+    dst = DistArrayDescriptor(block_template(SHAPE, grids[1]))
+    benchmark(lambda: build_block_schedule(src, dst))
+
+
+@pytest.mark.parametrize("grids", [GRIDS[2]], ids=["64x64ranks"])
+def test_general_path(benchmark, grids):
+    src = DistArrayDescriptor(block_template(SHAPE, grids[0]))
+    dst = DistArrayDescriptor(block_template(SHAPE, grids[1]))
+    benchmark(lambda: build_region_schedule(src, dst, force_general=True))
+
+
+if __name__ == "__main__":
+    report()

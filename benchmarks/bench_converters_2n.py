@@ -1,0 +1,91 @@
+"""E12 / §2.2.2: 2N converters via the DAD hub instead of N².
+
+"Such a descriptor can be used to facilitate the conversion between DA
+representations, allowing the use of 2N distinct converters to/from the
+DAD's intermediate representation rather than N² converters directly
+coupling individual DA representations or packages."
+
+Models N distributed-array packages; counts the converters each
+strategy must implement and times an all-pairs conversion workload.
+"""
+
+import pytest
+
+from _common import banner, fmt_table, timed
+from repro.dad.converters import ConverterRegistry, DARepresentation
+from repro.dad import DistArrayDescriptor
+from repro.dad.template import block_template
+
+N_SWEEP = [2, 4, 8, 16]
+TEMPLATE = block_template((32, 32), (2, 2))
+
+
+def build_registries(n):
+    """Direct pairwise registry and DAD-hub registry for n packages."""
+    packages = [f"pkg{i}" for i in range(n)]
+    direct = ConverterRegistry()
+    for a in packages:
+        for b in packages:
+            if a != b:
+                direct.register_direct(a, b, lambda payload: payload)
+    hub = ConverterRegistry()
+    for name in packages:
+        hub.register_package(
+            name,
+            to_dad=lambda payload: DistArrayDescriptor(TEMPLATE),
+            from_dad=lambda desc: desc)
+    return packages, direct, hub
+
+
+def all_pairs_workload(packages, registry, via_hub):
+    convert = registry.convert_via_dad if via_hub else registry.convert_direct
+    for a in packages:
+        rep = DARepresentation(a, payload=None)
+        for b in packages:
+            if a != b:
+                convert(rep, b)
+    return registry.hops_executed
+
+
+def report():
+    print(banner("E12 (§2.2.2): 2N hub converters vs N² direct"))
+    rows = []
+    for n in N_SWEEP:
+        packages, direct, hub = build_registries(n)
+        t_direct, hops_d = timed(
+            lambda: all_pairs_workload(packages, direct, via_hub=False))
+        t_hub, hops_h = timed(
+            lambda: all_pairs_workload(packages, hub, via_hub=True))
+        rows.append([
+            n,
+            direct.direct_converter_count,   # N(N-1) to implement
+            hub.hub_converter_count,         # 2N to implement
+            hops_d, hops_h,
+            f"{t_direct * 1e3:.2f}", f"{t_hub * 1e3:.2f}",
+        ])
+    print(fmt_table(
+        ["N pkgs", "direct converters", "hub converters",
+         "direct hops", "hub hops", "direct ms", "hub ms"], rows))
+    print("\nThe hub needs 2N converters (engineering cost) at the price of"
+          "\n2 hops per conversion instead of 1 (runtime cost) — the"
+          "\npaper's 'highly pragmatic' trade.")
+    # Shape assertion: implementation burden crosses over immediately.
+    for n, direct_cnt, hub_cnt, *_ in rows:
+        if n > 3:
+            assert hub_cnt < direct_cnt
+
+
+@pytest.mark.parametrize("n", [8])
+def test_hub_conversion_workload(benchmark, n):
+    packages, _, hub = build_registries(n)
+    benchmark(lambda: all_pairs_workload(packages, hub, via_hub=True))
+
+
+@pytest.mark.parametrize("n", [8])
+def test_direct_conversion_workload(benchmark, n):
+    packages, direct, _ = build_registries(n)
+    benchmark(lambda: all_pairs_workload(packages, direct, via_hub=False))
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,103 @@
+"""E7 / §2.2.2: compact descriptors beat structureless linearization.
+
+"Using the most compact descriptor appropriate for a given distribution
+usually allows a DA package to provide better performance than is
+possible for a completely general, structureless linearization, such as
+the DAD's implicit distribution type."
+
+For a column-block distribution over growing array sizes, compares the
+descriptor encoding size and schedule-build time of:
+
+* the compact block DAD (O(1) entries per axis),
+* the implicit per-element DAD (O(n) entries),
+* the row-major linearization (runs fragment per row).
+"""
+
+import numpy as np
+import pytest
+
+from _common import banner, fmt_table, timed
+from repro.dad import CartesianTemplate, DistArrayDescriptor, Implicit
+from repro.dad.axis import Block
+from repro.dad.template import block_template
+from repro.linearize import DenseLinearization
+from repro.schedule import build_linear_schedule, build_region_schedule
+
+SIZES = [16, 32, 64, 128]
+P = 4
+
+
+def make_descs(n):
+    """Column-block layout of an n x n array over P ranks, three ways."""
+    compact = DistArrayDescriptor(block_template((n, n), (1, P)))
+    owners = np.repeat(np.arange(P), -(-n // P))[:n]
+    implicit = DistArrayDescriptor(
+        CartesianTemplate([Block(n, 1), Implicit(owners, nprocs=P)]))
+    # implicit template: rows collapsed? Block(n,1) gives one row-group;
+    # grid = (1, P) like compact, same ownership.
+    return compact, implicit
+
+
+def report():
+    print(banner("E7 (§2.2.2): descriptor compactness vs linearization"))
+    rows = []
+    for n in SIZES:
+        compact, implicit = make_descs(n)
+        dst = DistArrayDescriptor(block_template((n, n), (P, 1)))
+        t_block, s_block = timed(
+            lambda: build_region_schedule(compact, dst))
+        t_impl, s_impl = timed(
+            lambda: build_region_schedule(implicit, dst,
+                                          force_general=True))
+        lin_src = DenseLinearization(compact)
+        lin_dst = DenseLinearization(dst)
+        t_lin, s_lin = timed(
+            lambda: build_linear_schedule(lin_src, lin_dst))
+        rows.append([
+            f"{n}x{n}",
+            compact.descriptor_entries(),
+            implicit.descriptor_entries(),
+            lin_src.descriptor_entries(),
+            f"{t_block * 1e3:.2f}",
+            f"{t_impl * 1e3:.2f}",
+            f"{t_lin * 1e3:.2f}",
+            s_block.message_count,
+            s_lin.message_count,
+        ])
+    print(fmt_table(
+        ["array", "DAD ents", "implicit ents", "linear ents",
+         "DAD ms", "implicit ms", "linear ms", "DAD msgs", "linear msgs"],
+        rows))
+    print("\nThe compact DAD's descriptor stays O(1) and its schedule moves"
+          "\nwhole rectangles; the structureless forms grow with the array"
+          "\nand fragment the transfer into per-row runs.")
+
+
+@pytest.mark.parametrize("n", [64])
+def test_compact_schedule_build(benchmark, n):
+    compact, _ = make_descs(n)
+    dst = DistArrayDescriptor(block_template((n, n), (P, 1)))
+    benchmark(lambda: build_region_schedule(compact, dst))
+
+
+@pytest.mark.parametrize("n", [64])
+def test_linearized_schedule_build(benchmark, n):
+    compact, _ = make_descs(n)
+    dst = DistArrayDescriptor(block_template((n, n), (P, 1)))
+    lin_src = DenseLinearization(compact)
+    lin_dst = DenseLinearization(dst)
+    benchmark(lambda: build_linear_schedule(lin_src, lin_dst))
+
+
+def test_entry_scaling_shape():
+    """The crossover shape: compact stays flat, the others grow."""
+    small_c, small_i = make_descs(SIZES[0])
+    large_c, large_i = make_descs(SIZES[-1])
+    assert small_c.descriptor_entries() == large_c.descriptor_entries()
+    assert large_i.descriptor_entries() > small_i.descriptor_entries()
+    assert (DenseLinearization(large_c).descriptor_entries()
+            > DenseLinearization(small_c).descriptor_entries())
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,66 @@
+"""E1 / Figure 1: the M×N problem — M=8 cohort feeding N=27.
+
+Regenerates the paper's motivating picture as numbers: for (M, N)
+pairs around the figure's 8→27, the parallel redistribution's message
+count, bytes moved, and wall time, with correctness asserted on every
+run.
+"""
+
+import numpy as np
+import pytest
+
+from _common import banner, fmt_table, make_block_pair, redistribute_once, timed
+from repro.schedule import build_region_schedule
+
+SHAPE = (24, 24, 24)
+PAIRS = [
+    ((2, 2, 2), (3, 3, 3)),   # the figure's M=8 -> N=27
+    ((1, 1, 1), (3, 3, 3)),   # serial -> 27
+    ((2, 2, 2), (1, 1, 1)),   # 8 -> serial (gather-like)
+    ((2, 2, 1), (2, 2, 2)),   # mild growth 4 -> 8
+    ((3, 3, 3), (2, 2, 2)),   # 27 -> 8 (reverse)
+]
+
+
+def _run_pair(src_grid, dst_grid):
+    src, dst = make_block_pair(SHAPE, src_grid, dst_grid)
+    g = np.arange(np.prod(SHAPE), dtype=np.float64).reshape(SHAPE)
+    sched = build_region_schedule(src, dst)
+    elapsed, (out, counters) = timed(
+        lambda: redistribute_once(src, dst, g, schedule=sched))
+    assert np.array_equal(out, g)
+    return sched, counters, elapsed
+
+
+def report():
+    print(banner("E1 (Fig. 1): the M×N problem, shape "
+                 f"{SHAPE} ({np.prod(SHAPE)} elements)"))
+    rows = []
+    for src_grid, dst_grid in PAIRS:
+        sched, counters, elapsed = _run_pair(src_grid, dst_grid)
+        m = int(np.prod(src_grid))
+        n = int(np.prod(dst_grid))
+        rows.append([f"{m}x{n}", sched.message_count,
+                     f"{sched.nbytes() / 1024:.0f}",
+                     f"{elapsed * 1e3:.1f}"])
+    print(fmt_table(["M x N", "messages", "KiB moved", "ms"], rows))
+    print("\nEvery destination element arrives exactly once; message count"
+          "\ngrows with decomposition mismatch, not with a global gather.")
+
+
+@pytest.mark.parametrize("src_grid,dst_grid", PAIRS[:2],
+                         ids=["8to27", "1to27"])
+def test_fig1_redistribution(benchmark, src_grid, dst_grid):
+    src, dst = make_block_pair(SHAPE, src_grid, dst_grid)
+    g = np.random.default_rng(0).random(SHAPE)
+    sched = build_region_schedule(src, dst)
+    out, _ = benchmark.pedantic(
+        lambda: redistribute_once(src, dst, g, schedule=sched),
+        rounds=3, iterations=1)
+    assert np.array_equal(out, g)
+    benchmark.extra_info["messages"] = sched.message_count
+    benchmark.extra_info["bytes"] = sched.nbytes()
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,108 @@
+"""E11 / §2.4: one-way methods overlap computation and communication.
+
+"In one-way methods the calling component continues execution
+immediately, without waiting for the remote invocation to complete."
+
+A producer streams work items to a slow consumer.  With blocking RMI
+the producer's loop runs at the consumer's pace; with one-way methods
+the producer finishes its loop at its own pace (the pipeline drains in
+the background).
+"""
+
+import time
+
+import pytest
+
+from _common import banner, fmt_table, timed
+from repro.cca.sidl import arg, method, port
+from repro.prmi import CalleeEndpoint, CallerEndpoint
+from repro.simmpi import NameService, run_coupled
+
+PORT = port(
+    "Sink",
+    method("process_blocking", arg("item")),
+    method("process_oneway", arg("item"), oneway=True, returns=False),
+)
+ITEMS = 8
+SERVICE_TIME = 0.03   # consumer's per-item cost
+PRODUCE_TIME = 0.005  # producer's per-item cost
+
+
+class SlowConsumer:
+    def __init__(self):
+        self.seen = []
+
+    def _work(self, item):
+        time.sleep(SERVICE_TIME)
+        self.seen.append(item)
+        return item
+
+    def process_blocking(self, item):
+        return self._work(item)
+
+    def process_oneway(self, item):
+        self._work(item)
+
+
+def run_stream(oneway):
+    ns = NameService()
+    method_name = "process_oneway" if oneway else "process_blocking"
+    producer_loop_time = {}
+
+    def producer(comm):
+        inter = ns.connect("sink", comm)
+        ep = CallerEndpoint(comm, inter, PORT)
+        t0 = time.perf_counter()
+        for k in range(ITEMS):
+            time.sleep(PRODUCE_TIME)  # compute the next item
+            ep.invoke(method_name, item=k)
+        loop = time.perf_counter() - t0
+        producer_loop_time[0] = loop
+        return loop
+
+    def consumer(comm):
+        inter = ns.accept("sink", comm)
+        impl = SlowConsumer()
+        ep = CalleeEndpoint(comm, inter, PORT, impl)
+        for _ in range(ITEMS):
+            ep.serve_one()
+        return impl.seen
+
+    out = run_coupled([("consumer", 1, consumer, ()),
+                       ("producer", 1, producer, ())])
+    assert out["consumer"][0] == list(range(ITEMS))  # order preserved
+    return out["producer"][0]
+
+
+def report():
+    print(banner(f"E11 (§2.4): one-way overlap, {ITEMS} items, "
+                 f"consumer {SERVICE_TIME * 1e3:.0f} ms/item, "
+                 f"producer {PRODUCE_TIME * 1e3:.0f} ms/item"))
+    t_block_total, block_loop = timed(lambda: run_stream(oneway=False))
+    t_oneway_total, oneway_loop = timed(lambda: run_stream(oneway=True))
+    rows = [
+        ["blocking RMI", f"{block_loop * 1e3:.0f}",
+         f"{t_block_total * 1e3:.0f}"],
+        ["one-way methods", f"{oneway_loop * 1e3:.0f}",
+         f"{t_oneway_total * 1e3:.0f}"],
+    ]
+    print(fmt_table(["invocation style", "producer loop ms",
+                     "end-to-end ms"], rows))
+    ideal_block = ITEMS * (SERVICE_TIME + PRODUCE_TIME)
+    ideal_oneway = ITEMS * PRODUCE_TIME
+    print(f"\nexpected shape: blocking loop ~{ideal_block * 1e3:.0f} ms "
+          f"(serialized), one-way loop ~{ideal_oneway * 1e3:.0f} ms "
+          f"(producer-bound)")
+    assert oneway_loop < block_loop / 2
+
+
+def test_blocking_stream(benchmark):
+    benchmark.pedantic(lambda: run_stream(False), rounds=3, iterations=1)
+
+
+def test_oneway_stream(benchmark):
+    benchmark.pedantic(lambda: run_stream(True), rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    report()

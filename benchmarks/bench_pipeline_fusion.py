@@ -1,0 +1,110 @@
+"""Ablation A3 / §6: pipeline composition and the super-component.
+
+"An important pragmatic issue that arises with such pipelining is how
+efficiently redistribution functions compose with one another.
+Techniques must be explored to operate on data in place and avoid
+unnecessary data copies.  Super-component solutions could also be
+explored ... by combining several successive redistribution and
+translation components into a single optimized component."
+
+A representative coupling pipeline (unit conversion → redistribution →
+clamp → redistribution) is executed stage-by-stage and as the fused
+super-component; work metrics show where the savings come from.
+"""
+
+import numpy as np
+import pytest
+
+from _common import banner, fmt_table, timed
+from repro.dad import DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.pipeline import (
+    ClampFilter,
+    FilterStage,
+    Pipeline,
+    PipelineMetrics,
+    RedistributeStage,
+    UnitConversion,
+)
+from repro.simmpi import run_spmd
+
+SHAPE = (64, 64)
+
+
+def build_pipeline():
+    a = DistArrayDescriptor(block_template(SHAPE, (4, 1)))
+    b = DistArrayDescriptor(block_template(SHAPE, (1, 4)))
+    c = DistArrayDescriptor(block_template(SHAPE, (2, 2)))
+    return Pipeline(a, [
+        FilterStage(UnitConversion("celsius", "kelvin")),
+        RedistributeStage(b),
+        FilterStage(UnitConversion("kelvin", "celsius")),
+        FilterStage(UnitConversion("celsius", "fahrenheit")),
+        FilterStage(ClampFilter(lo=-100.0, hi=200.0)),
+        RedistributeStage(c),
+    ])
+
+
+def run(pipeline_like, src_desc, g):
+    box = {}
+
+    def main(comm):
+        src = (DistributedArray.from_global(src_desc, comm.rank, g)
+               if comm.rank < src_desc.nranks else None)
+        metrics = PipelineMetrics()
+        out = pipeline_like.run(comm, src, metrics)
+        box[comm.rank] = metrics
+        return out
+
+    parts = [p for p in run_spmd(pipeline_like.max_nranks, main)
+             if p is not None]
+    return DistributedArray.assemble(parts), box[0]
+
+
+def report():
+    print(banner(f"A3 (§6): pipeline fusion, {SHAPE} field, "
+                 "4 filters + 2 redistributions"))
+    pipe = build_pipeline()
+    fused = pipe.fuse()
+    g = np.random.default_rng(0).random(SHAPE) * 60 - 20
+    t_naive, (out_naive, m_naive) = timed(
+        lambda: run(pipe, pipe.src_descriptor, g))
+    t_fused, (out_fused, m_fused) = timed(
+        lambda: run(fused, pipe.src_descriptor, g))
+    np.testing.assert_allclose(out_naive, out_fused)
+    rows = [
+        ["schedules executed", m_naive.schedules_executed,
+         m_fused.schedules_executed],
+        ["elements moved", m_naive.elements_moved, m_fused.elements_moved],
+        ["filter passes", m_naive.filter_passes, m_fused.filter_passes],
+        ["arrays allocated", m_naive.arrays_allocated,
+         m_fused.arrays_allocated],
+        ["wall time (ms)", f"{t_naive * 1e3:.0f}", f"{t_fused * 1e3:.0f}"],
+    ]
+    print(fmt_table(["metric", "stage-by-stage", "super-component"], rows))
+    print(f"\nfused filter chain length: {len(fused.filters)} "
+          "(3 affine conversions composed into 1, clamp kept)")
+    print("The super-component moves the field once instead of twice,"
+          "\napplies filters in place, and composes affine conversions in"
+          "\nclosed form — results are bit-identical.")
+    assert m_fused.elements_moved == g.size
+    assert m_naive.elements_moved == 2 * g.size
+
+
+def test_naive_pipeline(benchmark):
+    pipe = build_pipeline()
+    g = np.random.default_rng(0).random(SHAPE)
+    benchmark.pedantic(lambda: run(pipe, pipe.src_descriptor, g),
+                       rounds=3, iterations=1)
+
+
+def test_fused_pipeline(benchmark):
+    pipe = build_pipeline()
+    fused = pipe.fuse()
+    g = np.random.default_rng(0).random(SHAPE)
+    benchmark.pedantic(lambda: run(fused, pipe.src_descriptor, g),
+                       rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,97 @@
+"""E6 / §2.3: communication schedules are reusable.
+
+"This schedule is computed prior to the transfer operation, and can be
+reused in consecutive transfers, and even for different arrays as long
+as they conform to the same distribution template."
+
+Uses a block-cyclic pair (many ownership regions, so the build is
+non-trivial) and compares per-transfer cost when the schedule is
+rebuilt every time vs. fetched from the template-keyed cache, with
+different actual arrays on every transfer.
+"""
+
+import numpy as np
+import pytest
+
+from _common import banner, fmt_table, redistribute_once, timed
+from repro.dad import BlockCyclic, CartesianTemplate, DistArrayDescriptor
+from repro.schedule import ScheduleCache, build_region_schedule
+
+SHAPE = (32, 32)
+REPEATS = 5
+
+
+def make_pair():
+    src = DistArrayDescriptor(CartesianTemplate(
+        [BlockCyclic(SHAPE[0], 4, 2), BlockCyclic(SHAPE[1], 2, 2)]))
+    dst = DistArrayDescriptor(CartesianTemplate(
+        [BlockCyclic(SHAPE[0], 2, 4), BlockCyclic(SHAPE[1], 4, 2)]))
+    return src, dst
+
+
+def report():
+    print(banner("E6 (§2.3): schedule reuse — block-cyclic pair over "
+                 f"{SHAPE}"))
+    src, dst = make_pair()
+    t_build, sched = timed(lambda: build_region_schedule(src, dst))
+
+    # Rebuild every transfer.
+    rebuild_times = []
+    for k in range(REPEATS):
+        g = np.random.default_rng(k).random(SHAPE)
+        t, _ = timed(lambda: redistribute_once(
+            src, dst, g, schedule=build_region_schedule(src, dst)))
+        rebuild_times.append(t)
+
+    # Cached schedule, different arrays each transfer (§2.3's point).
+    cache = ScheduleCache()
+    cached_times = []
+    for k in range(REPEATS):
+        g = np.random.default_rng(100 + k).random(SHAPE)
+        t, _ = timed(lambda: redistribute_once(
+            src, dst, g, schedule=cache.get(src, dst)))
+        cached_times.append(t)
+
+    rows = [
+        ["schedule build alone", f"{t_build * 1e3:.2f}"],
+        [f"transfer, rebuilding each time (avg of {REPEATS})",
+         f"{np.mean(rebuild_times) * 1e3:.2f}"],
+        [f"transfer, cached schedule (avg of {REPEATS})",
+         f"{np.mean(cached_times) * 1e3:.2f}"],
+    ]
+    print(fmt_table(["phase", "ms"], rows))
+    print(f"\nschedule: {sched.message_count} messages, "
+          f"{sched.entries()} bookkeeping entries")
+    print(f"cache stats: hits={cache.hits} misses={cache.misses} "
+          f"(different arrays, same template pair -> hits)")
+    assert cache.hits == REPEATS - 1 and cache.misses == 1
+
+
+def test_schedule_build(benchmark):
+    src, dst = make_pair()
+    sched = benchmark(lambda: build_region_schedule(src, dst))
+    assert sched.element_count == SHAPE[0] * SHAPE[1]
+
+
+def test_cached_transfer(benchmark):
+    src, dst = make_pair()
+    g = np.random.default_rng(0).random(SHAPE)
+    sched = build_region_schedule(src, dst)
+    out, _ = benchmark.pedantic(
+        lambda: redistribute_once(src, dst, g, schedule=sched),
+        rounds=3, iterations=1)
+    assert np.array_equal(out, g)
+
+
+def test_rebuilt_transfer(benchmark):
+    src, dst = make_pair()
+    g = np.random.default_rng(0).random(SHAPE)
+    out, _ = benchmark.pedantic(
+        lambda: redistribute_once(
+            src, dst, g, schedule=build_region_schedule(src, dst)),
+        rounds=3, iterations=1)
+    assert np.array_equal(out, g)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Run every experiment report in DESIGN.md's index and print the
+paper-shaped tables.  EXPERIMENTS.md is produced from this output.
+
+Usage:  python benchmarks/run_all.py [E1 E5 ...]
+"""
+
+import importlib.util
+import pathlib
+import sys
+import time
+
+HERE = pathlib.Path(__file__).parent
+
+EXPERIMENTS = [
+    ("E1", "bench_fig1_mxn_problem"),
+    ("E2", "bench_fig2_frameworks"),
+    ("E3", "bench_fig3_paired_mxn"),
+    ("E4", "bench_fig4_feature_table"),
+    ("E5", "bench_fig5_sync_deadlock"),
+    ("E6", "bench_schedule_reuse"),
+    ("E7", "bench_descriptor_compactness"),
+    ("E8", "bench_scalability_serialization"),
+    ("E9", "bench_dataready_no_barrier"),
+    ("E10", "bench_prmi_ghosts"),
+    ("E11", "bench_oneway_overlap"),
+    ("E12", "bench_converters_2n"),
+    ("E13", "bench_mct_interpolation"),
+    ("E14", "bench_icomm_descriptors"),
+    ("E15", "bench_icomm_coordination"),
+    ("E16", "bench_receiver_driven"),
+    ("A1", "bench_ablation_fastpath"),
+    ("A2", "bench_ablation_verify"),
+    ("A3", "bench_pipeline_fusion"),
+    ("A4", "bench_coupling_styles"),
+]
+
+
+def load(module_name):
+    spec = importlib.util.spec_from_file_location(
+        module_name, HERE / f"{module_name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def main():
+    sys.path.insert(0, str(HERE))
+    selected = set(sys.argv[1:])
+    t0 = time.perf_counter()
+    for exp_id, module_name in EXPERIMENTS:
+        if selected and exp_id not in selected:
+            continue
+        module = load(module_name)
+        module.report()
+    print(f"\nall experiments completed in "
+          f"{time.perf_counter() - t0:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

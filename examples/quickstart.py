@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 1 — the M×N problem.
+
+One parallel program computes a 3-D field on M = 8 processes (a 2×2×2
+block decomposition); a second program wants the same field on N = 27
+processes (3×3×3).  The M×N middleware computes the communication
+schedule from the two Distributed Array Descriptors and moves every
+element to its destination with point-to-point messages — no gather, no
+barrier, no global bottleneck.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DistArrayDescriptor,
+    DistributedArray,
+    NameService,
+    block_template,
+    build_region_schedule,
+    execute_inter,
+    run_coupled,
+)
+
+SHAPE = (24, 24, 24)
+M_GRID = (2, 2, 2)   # M = 8  (Fig. 1 left)
+N_GRID = (3, 3, 3)   # N = 27 (Fig. 1 right)
+
+
+def main():
+    src_desc = DistArrayDescriptor(block_template(SHAPE, M_GRID),
+                                   np.float64, name="pressure")
+    dst_desc = DistArrayDescriptor(block_template(SHAPE, N_GRID),
+                                   np.float64, name="pressure")
+
+    # The schedule is computed once, from descriptors alone, and is
+    # reusable for any array conforming to the same templates.
+    schedule = build_region_schedule(src_desc, dst_desc)
+    print(f"schedule: {schedule.message_count} point-to-point messages, "
+          f"{schedule.element_count} elements "
+          f"({schedule.nbytes() / 1024:.0f} KiB)")
+
+    # The "truth" we expect to arrive intact on the N side.
+    rng = np.random.default_rng(42)
+    field = rng.random(SHAPE)
+
+    ns = NameService()
+
+    def simulation(comm):
+        """The M = 8 producer: computes its block of the field."""
+        inter = ns.accept("coupling", comm)
+        local = DistributedArray.from_global(src_desc, comm.rank, field)
+        sent = execute_inter(schedule, inter, "src", local)
+        return sent
+
+    def analysis(comm):
+        """The N = 27 consumer: receives its (smaller) block."""
+        inter = ns.connect("coupling", comm)
+        local = DistributedArray.allocate(dst_desc, comm.rank)
+        execute_inter(schedule, inter, "dst", local)
+        return local
+
+    out = run_coupled([
+        ("simulation", src_desc.nranks, simulation, ()),
+        ("analysis", dst_desc.nranks, analysis, ()),
+    ])
+
+    reassembled = DistributedArray.assemble(out["analysis"])
+    assert np.array_equal(reassembled, field), "redistribution corrupted data"
+    print(f"moved {sum(out['simulation'])} elements "
+          f"from M={src_desc.nranks} to N={dst_desc.nranks} processes; "
+          f"destination field verified bit-exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment's setuptools lacks wheel
+support, so editable installs go through ``--no-use-pep517``."""
+
+from setuptools import setup
+
+setup()

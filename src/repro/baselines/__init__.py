@@ -1,0 +1,12 @@
+"""Baseline comparators for the paper's scalability claims.
+
+The paper's §3 scalability criterion: "communications between the
+components is not serialized through a single data management process".
+These baselines *are* the serialized designs, so the benchmarks can show
+the shape of the win.
+"""
+
+from repro.baselines.serial_gather import redistribute_via_root
+from repro.baselines.elementwise import redistribute_elementwise
+
+__all__ = ["redistribute_via_root", "redistribute_elementwise"]

@@ -1,0 +1,66 @@
+"""Element-at-a-time redistribution: the no-schedule, no-aggregation
+baseline.
+
+Each destination element is looked up (owner query on both templates)
+and shipped as its own message.  This is what "structureless" data
+movement costs when nothing batches contiguous elements — the far end
+of the descriptor-compactness spectrum in experiment E7/E8.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.dad.darray import DistributedArray
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.simmpi.communicator import Communicator
+from repro.util.indexing import row_major_coords, shape_volume
+
+ELEMENT_TAG = 82
+
+
+def redistribute_elementwise(comm: Communicator,
+                             src_desc: DistArrayDescriptor,
+                             dst_desc: DistArrayDescriptor,
+                             *, src_array: DistributedArray | None = None,
+                             dst_array: DistributedArray | None = None,
+                             src_ranks=None, dst_ranks=None) -> int:
+    """Move every element as an individual message.
+
+    Same call shape as :func:`repro.schedule.execute_intra`.  Returns
+    elements received at this rank.
+    """
+    if src_desc.shape != dst_desc.shape:
+        raise ScheduleError(
+            f"shape mismatch: {src_desc.shape} vs {dst_desc.shape}")
+    src_ranks = list(src_ranks if src_ranks is not None
+                     else range(src_desc.nranks))
+    dst_ranks = list(dst_ranks if dst_ranks is not None
+                     else range(dst_desc.nranks))
+    me = comm.rank
+    total = shape_volume(src_desc.shape)
+
+    if me in src_ranks:
+        if src_array is None:
+            raise ScheduleError(f"rank {me} is a source but has no src_array")
+        s = src_ranks.index(me)
+        for flat in range(total):
+            point = row_major_coords(flat, src_desc.shape)
+            if src_desc.owner_of(point) != s:
+                continue
+            dst = dst_desc.owner_of(point)
+            comm.send((flat, src_array.get(point)),
+                      dst_ranks[dst], ELEMENT_TAG)
+
+    received = 0
+    if me in dst_ranks:
+        if dst_array is None:
+            raise ScheduleError(
+                f"rank {me} is a destination but has no dst_array")
+        d = dst_ranks.index(me)
+        expected = dst_desc.local_volume(d)
+        for _ in range(expected):
+            flat, value = comm.recv(tag=ELEMENT_TAG)
+            point = row_major_coords(flat, dst_desc.shape)
+            dst_array.set(point, value)
+            received += 1
+    return received

@@ -1,0 +1,76 @@
+"""Gather-to-root redistribution: the serialized anti-pattern.
+
+All source data funnels through one manager rank, which reassembles the
+global array and deals out each destination rank's patches.  Correct,
+simple — and everything the M×N schedule approach exists to avoid: the
+manager's memory holds the whole array and every byte crosses its link
+twice.  Experiment E8 measures bytes-through-hottest-rank against the
+pairwise schedule executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.dad.darray import DistributedArray
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.simmpi.communicator import Communicator
+
+GATHER_TAG = 80
+DEAL_TAG = 81
+
+
+def redistribute_via_root(comm: Communicator,
+                          src_desc: DistArrayDescriptor,
+                          dst_desc: DistArrayDescriptor,
+                          *, src_array: DistributedArray | None = None,
+                          dst_array: DistributedArray | None = None,
+                          src_ranks=None, dst_ranks=None,
+                          root: int = 0) -> int:
+    """Redistribute by funnelling everything through ``root``.
+
+    Same call shape as :func:`repro.schedule.execute_intra`.  Returns
+    the number of elements received at this rank's destination side.
+    """
+    if src_desc.shape != dst_desc.shape:
+        raise ScheduleError(
+            f"shape mismatch: {src_desc.shape} vs {dst_desc.shape}")
+    src_ranks = list(src_ranks if src_ranks is not None
+                     else range(src_desc.nranks))
+    dst_ranks = list(dst_ranks if dst_ranks is not None
+                     else range(dst_desc.nranks))
+    me = comm.rank
+
+    # Phase 1: sources ship every patch to the manager.
+    if me in src_ranks:
+        if src_array is None:
+            raise ScheduleError(f"rank {me} is a source but has no src_array")
+        for region, arr in src_array.iter_patches():
+            comm.send((region.lo, region.hi, arr), root, GATHER_TAG)
+
+    # Phase 2: the manager assembles the global array and deals patches.
+    if me == root:
+        global_arr = np.zeros(src_desc.shape, dtype=src_desc.dtype)
+        expected = sum(len(src_desc.local_regions(r))
+                       for r in range(src_desc.nranks))
+        for _ in range(expected):
+            lo, hi, data = comm.recv(tag=GATHER_TAG)
+            global_arr[tuple(slice(a, b) for a, b in zip(lo, hi))] = data
+        for d, comm_rank in enumerate(dst_ranks):
+            for region in dst_desc.local_regions(d):
+                comm.send(global_arr[region.to_slices()],
+                          comm_rank, DEAL_TAG)
+
+    # Phase 3: destinations collect their patches.
+    received = 0
+    if me in dst_ranks:
+        if dst_array is None:
+            raise ScheduleError(
+                f"rank {me} is a destination but has no dst_array")
+        d = dst_ranks.index(me)
+        for region in dst_desc.local_regions(d):
+            data = comm.recv(source=root, tag=DEAL_TAG)
+            dst_array.local_view(region)[...] = np.asarray(data)
+            received += region.volume
+    return received

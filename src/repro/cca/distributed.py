@@ -1,0 +1,116 @@
+"""The distributed framework (paper §2.1, Fig. 2 right).
+
+"Components in a distributed framework each run in different sets of
+processes which may be distributed across multiple machines.  In this
+case, port invocations become a refined form of Remote Method
+Invocation ... All inter-component communication in distributed
+frameworks is M×N."
+
+Each parallel component runs in its own SPMD job with one
+:class:`DistributedFramework` instance per rank.  Uses ports attach to
+:class:`RemotePortProxy` objects that marshal invocations through the
+PRMI engine; provides ports are serviced by PRMI callee endpoints.  To
+the application code the interfaces are identical to the
+direct-connected case — "to an application user there is no difference
+in the interfaces".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from repro.errors import PortError, PRMIError
+from repro.cca.component import Component, Services
+from repro.cca.framework import DirectFramework
+from repro.cca.sidl import PortType
+from repro.prmi.endpoint import CalleeEndpoint, CallerEndpoint
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.intercomm import NameService
+
+
+class RemotePortProxy:
+    """Caller-side stand-in for a remote provides port.
+
+    Collective methods are called directly (``proxy.solve(x=1)``);
+    independent methods additionally take the target rank as the
+    ``_callee`` keyword (``proxy.poke(_callee=2, v=5)``).
+    """
+
+    def __init__(self, endpoint: CallerEndpoint):
+        self._endpoint = endpoint
+
+    def __getattr__(self, name: str):
+        spec = self._endpoint.port_type.method(name)
+
+        def call(_callee: int | None = None, **kwargs: Any) -> Any:
+            if spec.invocation == "independent":
+                if _callee is None:
+                    raise PRMIError(
+                        f"independent method {name!r} needs _callee=<rank>")
+                return self._endpoint.invoke_independent(
+                    name, _callee, **kwargs)
+            if _callee is not None:
+                raise PRMIError(
+                    f"collective method {name!r} takes no _callee")
+            return self._endpoint.invoke(name, **kwargs)
+
+        call.__name__ = name
+        return call
+
+
+class DistributedFramework(DirectFramework):
+    """Per-rank framework for one parallel component of a distributed
+    application.
+
+    Extends the direct framework (local components still connect
+    directly) with remote connection endpoints over a name service.
+    """
+
+    def __init__(self, comm: Communicator, nameservice: NameService,
+                 *, name: str = "distributed",
+                 verify_simple: bool = False):
+        super().__init__(comm, name=name)
+        self.nameservice = nameservice
+        self.verify_simple = verify_simple
+        self._servers: dict[str, CalleeEndpoint] = {}
+
+    # -- remote wiring ----------------------------------------------------
+
+    def serve_connection(self, provider: str, provides_port: str,
+                         service_name: str) -> CalleeEndpoint:
+        """Publish ``provider``'s provides port under ``service_name``.
+
+        Collective over the cohort; blocks until a peer framework calls
+        :meth:`connect_remote` with the same name.  Returns the callee
+        endpoint whose ``serve_one()`` services invocations.
+        """
+        provides = self._services_for(provider).get_provides_port(
+            provides_port)
+        inter = self.nameservice.accept(service_name, self.comm)
+        endpoint = CalleeEndpoint(self.comm, inter, provides.port_type,
+                                  provides.impl,
+                                  verify_simple=self.verify_simple)
+        self._servers[service_name] = endpoint
+        return endpoint
+
+    def connect_remote(self, user: str, uses_port: str,
+                       service_name: str) -> CallerEndpoint:
+        """Attach ``user``'s uses port to a remote provides port.
+
+        Collective over the cohort; pairs with the provider's
+        :meth:`serve_connection`.  After this, ``get_port`` on the user
+        side returns an RMI proxy with the declared interface.
+        """
+        uses = self._services_for(user).uses_port(uses_port)
+        inter = self.nameservice.connect(service_name, self.comm)
+        endpoint = CallerEndpoint(self.comm, inter, uses.port_type,
+                                  verify_simple=self.verify_simple)
+        uses.connect_proxy(RemotePortProxy(endpoint))
+        return endpoint
+
+    def server(self, service_name: str) -> CalleeEndpoint:
+        try:
+            return self._servers[service_name]
+        except KeyError:
+            raise PortError(
+                f"no served connection {service_name!r}") from None

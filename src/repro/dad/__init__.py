@@ -1,0 +1,58 @@
+"""Distributed Array Descriptor (DAD) — paper Section 2.2.2.
+
+The DAD is the CCA's generic, bottom-up description of how a dense
+multidimensional array is decomposed across processes.  It follows the
+HPF model the paper cites: a *template* specifies the logical per-axis
+distribution over a process grid; *actual arrays* are aligned to a
+template; and the descriptor answers the two questions the M×N layer
+needs — "which rank owns global element x?" and "which global regions
+does rank r hold, and where in its local storage?".
+
+Supported per-axis distribution types (paper list):
+
+* :class:`Collapsed` — whole axis on one process,
+* :class:`Block` — one contiguous block per process,
+* :class:`Cyclic` — one element per block, dealt round-robin,
+* :class:`BlockCyclic` — fixed-size blocks dealt round-robin,
+* :class:`GeneralizedBlock` — one block per process, varying sizes
+  (Global Arrays style),
+* :class:`Implicit` — arbitrary per-element owner map (HPF style),
+
+plus the one array-global type:
+
+* :class:`ExplicitTemplate` — arbitrary non-overlapping rectangular
+  patches assigned to processes, which "must not overlap and must
+  completely cover the template".
+"""
+
+from repro.dad.axis import (
+    AxisDistribution,
+    Block,
+    BlockCyclic,
+    Collapsed,
+    Cyclic,
+    GeneralizedBlock,
+    Implicit,
+)
+from repro.dad.template import CartesianTemplate, ExplicitTemplate, Template
+from repro.dad.descriptor import DistArrayDescriptor, AccessMode
+from repro.dad.darray import DistributedArray
+from repro.dad.converters import ConverterRegistry, DARepresentation
+
+__all__ = [
+    "AxisDistribution",
+    "Collapsed",
+    "Block",
+    "Cyclic",
+    "BlockCyclic",
+    "GeneralizedBlock",
+    "Implicit",
+    "Template",
+    "CartesianTemplate",
+    "ExplicitTemplate",
+    "DistArrayDescriptor",
+    "AccessMode",
+    "DistributedArray",
+    "ConverterRegistry",
+    "DARepresentation",
+]

@@ -1,0 +1,106 @@
+"""DA-package interoperability: the 2N-converters-via-DAD argument.
+
+Paper §2.2.2: a descriptor hub "allow[s] the use of 2N distinct
+converters to/from the DAD's intermediate representation rather than
+N² converters directly coupling individual DA representations".
+
+This module models that trade-off concretely.  A *package* is a named
+distributed-array representation (think Global Arrays vs. an HPF
+runtime vs. a Chaos-style irregular library); a
+:class:`ConverterRegistry` holds either direct pairwise converters or
+per-package to/from-DAD converters and routes conversion requests,
+counting registered converters and executed hops so experiment E12 can
+regenerate the 2N-vs-N² comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RegistrationError
+from repro.dad.descriptor import DistArrayDescriptor
+
+
+@dataclass
+class DARepresentation:
+    """A distributed array described in some package's native format."""
+
+    package: str
+    payload: Any
+
+
+Converter = Callable[[Any], Any]
+
+
+class ConverterRegistry:
+    """Routes DA-representation conversions directly or via the DAD hub."""
+
+    def __init__(self) -> None:
+        self._direct: dict[tuple[str, str], Converter] = {}
+        self._to_dad: dict[str, Callable[[Any], DistArrayDescriptor]] = {}
+        self._from_dad: dict[str, Callable[[DistArrayDescriptor], Any]] = {}
+        self.hops_executed = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register_direct(self, src: str, dst: str, fn: Converter) -> None:
+        key = (src, dst)
+        if key in self._direct:
+            raise RegistrationError(f"direct converter {src}->{dst} exists")
+        self._direct[key] = fn
+
+    def register_package(self, package: str,
+                         to_dad: Callable[[Any], DistArrayDescriptor],
+                         from_dad: Callable[[DistArrayDescriptor], Any]) -> None:
+        if package in self._to_dad:
+            raise RegistrationError(f"package {package!r} already registered")
+        self._to_dad[package] = to_dad
+        self._from_dad[package] = from_dad
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def direct_converter_count(self) -> int:
+        return len(self._direct)
+
+    @property
+    def hub_converter_count(self) -> int:
+        return len(self._to_dad) + len(self._from_dad)
+
+    # -- conversion ----------------------------------------------------------
+
+    def convert_direct(self, rep: DARepresentation,
+                       dst: str) -> DARepresentation:
+        """One-hop conversion using a pairwise converter."""
+        if rep.package == dst:
+            return rep
+        try:
+            fn = self._direct[(rep.package, dst)]
+        except KeyError:
+            raise RegistrationError(
+                f"no direct converter {rep.package}->{dst}") from None
+        self.hops_executed += 1
+        return DARepresentation(dst, fn(rep.payload))
+
+    def convert_via_dad(self, rep: DARepresentation,
+                        dst: str) -> DARepresentation:
+        """Two-hop conversion through the DAD intermediate form."""
+        if rep.package == dst:
+            return rep
+        try:
+            to_dad = self._to_dad[rep.package]
+            from_dad = self._from_dad[dst]
+        except KeyError as exc:
+            raise RegistrationError(
+                f"package not registered with the DAD hub: {exc}") from None
+        self.hops_executed += 2
+        return DARepresentation(dst, from_dad(to_dad(rep.payload)))
+
+    def convert(self, rep: DARepresentation, dst: str) -> DARepresentation:
+        """Prefer a direct converter; fall back to the DAD hub."""
+        if rep.package == dst:
+            return rep
+        if (rep.package, dst) in self._direct:
+            return self.convert_direct(rep, dst)
+        return self.convert_via_dad(rep, dst)

@@ -1,0 +1,159 @@
+"""Per-rank storage of a distributed array's local patches.
+
+A :class:`DistributedArray` is the rank-local half of the DAD picture:
+the descriptor says which global regions this rank owns; this object
+holds one contiguous NumPy block per owned region, plus the accessors
+components use for data-parallel work ("many components ... just need to
+be able to access the memory locations constituting the DA", §2.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AlignmentError, DistributionError
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.util.regions import Region
+
+
+class DistributedArray:
+    """Rank-local patches of one distributed array.
+
+    Create with :meth:`allocate` (zeros) or :meth:`from_global`
+    (sampling a replicated global array — test/bootstrap convenience).
+    """
+
+    def __init__(self, descriptor: DistArrayDescriptor, rank: int,
+                 patches: dict[Region, np.ndarray]):
+        descriptor.template._check_rank(rank)
+        self.descriptor = descriptor
+        self.rank = rank
+        owned = list(descriptor.local_regions(rank))
+        if set(patches) != set(owned):
+            raise AlignmentError(
+                f"patch regions {sorted(patches, key=lambda r: r.lo)} do not "
+                f"match ownership {sorted(owned, key=lambda r: r.lo)} "
+                f"of rank {rank}")
+        for region, arr in patches.items():
+            if arr.shape != region.shape:
+                raise AlignmentError(
+                    f"patch storage shape {arr.shape} != region shape "
+                    f"{region.shape}")
+        self.patches = dict(patches)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def allocate(cls, descriptor: DistArrayDescriptor,
+                 rank: int) -> "DistributedArray":
+        """Zero-initialized local storage for ``rank``."""
+        patches = {
+            region: np.zeros(region.shape, dtype=descriptor.dtype)
+            for region in descriptor.local_regions(rank)
+        }
+        return cls(descriptor, rank, patches)
+
+    @classmethod
+    def from_global(cls, descriptor: DistArrayDescriptor, rank: int,
+                    global_array: np.ndarray) -> "DistributedArray":
+        """Local storage filled from a replicated global array."""
+        descriptor.check_alignment(global_array.shape)
+        if global_array.dtype != descriptor.dtype:
+            global_array = global_array.astype(descriptor.dtype)
+        patches = {
+            # Explicit copy: a contiguous slice would otherwise remain a
+            # view of the caller's array, and local in-place updates
+            # would silently leak back into it.
+            region: np.array(global_array[region.to_slices()], copy=True)
+            for region in descriptor.local_regions(rank)
+        }
+        return cls(descriptor, rank, patches)
+
+    @classmethod
+    def from_function(cls, descriptor: DistArrayDescriptor, rank: int,
+                      fn: Callable[..., np.ndarray]) -> "DistributedArray":
+        """Fill patches from a vectorized function of global coordinates.
+
+        ``fn`` receives one coordinate array per axis (from
+        ``np.meshgrid`` with ``indexing='ij'``) and returns values.
+        """
+        patches = {}
+        for region in descriptor.local_regions(rank):
+            grids = np.meshgrid(
+                *[np.arange(a, b) for a, b in zip(region.lo, region.hi)],
+                indexing="ij")
+            patches[region] = np.asarray(
+                fn(*grids), dtype=descriptor.dtype).reshape(region.shape)
+        return cls(descriptor, rank, patches)
+
+    # -- element access -----------------------------------------------------
+
+    def local_view(self, region: Region) -> np.ndarray:
+        """View of ``region`` (global coordinates) inside local storage.
+
+        ``region`` must lie entirely within one owned patch; this is the
+        direct-memory-access path the paper calls "short-circuiting the
+        DA package's interface" (§2.2.2).
+        """
+        for owned, arr in self.patches.items():
+            if owned.contains(region):
+                return region.view(arr, owned)
+        raise DistributionError(
+            f"region {region} not contained in any patch of rank {self.rank}")
+
+    def get(self, point: Sequence[int]):
+        """Read one element by global coordinates (must be owned)."""
+        point = tuple(int(p) for p in point)
+        for owned, arr in self.patches.items():
+            if owned.contains_point(point):
+                local = tuple(p - o for p, o in zip(point, owned.lo))
+                return arr[local]
+        raise DistributionError(
+            f"element {point} not owned by rank {self.rank}")
+
+    def set(self, point: Sequence[int], value) -> None:
+        point = tuple(int(p) for p in point)
+        for owned, arr in self.patches.items():
+            if owned.contains_point(point):
+                local = tuple(p - o for p, o in zip(point, owned.lo))
+                arr[local] = value
+                return
+        raise DistributionError(
+            f"element {point} not owned by rank {self.rank}")
+
+    def fill(self, value) -> None:
+        for arr in self.patches.values():
+            arr.fill(value)
+
+    @property
+    def local_volume(self) -> int:
+        return sum(arr.size for arr in self.patches.values())
+
+    def iter_patches(self) -> Iterable[tuple[Region, np.ndarray]]:
+        """Owned (region, storage) pairs in deterministic order."""
+        return sorted(self.patches.items(), key=lambda kv: kv[0].lo)
+
+    # -- global assembly (verification helper) -------------------------------
+
+    def scatter_into(self, global_array: np.ndarray) -> None:
+        """Write this rank's patches into a replicated global array."""
+        self.descriptor.check_alignment(global_array.shape)
+        for region, arr in self.patches.items():
+            global_array[region.to_slices()] = arr
+
+    @staticmethod
+    def assemble(parts: Sequence["DistributedArray"]) -> np.ndarray:
+        """Reassemble a full global array from every rank's piece."""
+        if not parts:
+            raise DistributionError("no parts to assemble")
+        desc = parts[0].descriptor
+        out = np.zeros(desc.shape, dtype=desc.dtype)
+        for part in parts:
+            part.scatter_into(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DistributedArray(rank={self.rank}, "
+                f"{len(self.patches)} patches, {self.local_volume} elems)")

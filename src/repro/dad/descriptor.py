@@ -1,0 +1,102 @@
+"""The Distributed Array Descriptor proper: template + array metadata.
+
+Paper §4.1: "Parallel components can register their parallel data fields
+by providing a handle to a Distributed Array Descriptor (DAD) object ...
+The DAD interface provides run-time access to information regarding the
+layout, allocation and data decomposition of a given distributed data
+field", including "which access modes for M×N transfers with that data
+field are allowed (read, write or read/write)".
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.dad.template import Template
+from repro.util.regions import Region, RegionList
+
+
+class AccessMode(enum.Flag):
+    """Allowed M×N transfer directions for a registered field."""
+
+    READ = enum.auto()    #: field may be a transfer source
+    WRITE = enum.auto()   #: field may be a transfer destination
+    READWRITE = READ | WRITE
+
+    def allows_read(self) -> bool:
+        return bool(self & AccessMode.READ)
+
+    def allows_write(self) -> bool:
+        return bool(self & AccessMode.WRITE)
+
+
+class DistArrayDescriptor:
+    """Describes one distributed array: its template, dtype and access.
+
+    The descriptor is the *only* information the M×N layer needs about a
+    field — schedules are computed purely from descriptor pairs, which
+    is what makes third-party-initiated connections possible (§4.1).
+    """
+
+    def __init__(self, template: Template, dtype: np.dtype | str = np.float64,
+                 *, name: str = "", mode: AccessMode = AccessMode.READWRITE):
+        self.template = template
+        self.dtype = np.dtype(dtype)
+        self.name = name
+        self.mode = mode
+
+    # -- layout queries (the DAD run-time interface) -----------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.template.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.template.ndim
+
+    @property
+    def nranks(self) -> int:
+        return self.template.nranks
+
+    def local_regions(self, rank: int) -> RegionList:
+        """Global regions of the array stored by ``rank``."""
+        return self.template.owner_regions(rank)
+
+    def local_volume(self, rank: int) -> int:
+        return self.template.local_volume(rank)
+
+    def owner_of(self, point: Sequence[int]) -> int:
+        return self.template.owner_of(point)
+
+    def descriptor_entries(self) -> int:
+        """Descriptor encoding size in integer entries (compactness
+        metric for experiment E7)."""
+        return self.template.descriptor_entries()
+
+    def descriptor_nbytes(self) -> int:
+        return self.descriptor_entries() * 8
+
+    def cache_key(self) -> tuple:
+        """Schedule-cache identity: two descriptors with equal keys can
+        reuse each other's communication schedules even if they describe
+        different actual arrays (paper §2.3)."""
+        return (self.template.cache_key(), self.dtype.str)
+
+    # -- alignment ---------------------------------------------------------
+
+    def check_alignment(self, shape: Sequence[int]) -> None:
+        """Verify an actual array of ``shape`` can align to this template."""
+        if tuple(int(s) for s in shape) != self.shape:
+            raise AlignmentError(
+                f"array shape {tuple(shape)} does not align to template "
+                f"shape {self.shape}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (f"DistArrayDescriptor({label} shape={self.shape} "
+                f"dtype={self.dtype} nranks={self.nranks} mode={self.mode})")

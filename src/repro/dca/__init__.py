@@ -1,0 +1,35 @@
+"""DCA — the Distributed CCA Architecture framework model (paper §4.3).
+
+DCA solves the PRMI problems with MPI constructions:
+
+* **process participation** is decided per call by passing a
+  communicator — "the stub generator ... automatically adds an extra
+  argument to all port methods, of type MPI_Comm";
+* **invocation order** across intersecting participant sets is preserved
+  by "inserting a barrier before the delivery" (Fig. 5) — exposed here
+  as the EAGER/BARRIER :class:`DeliveryPolicy` so the paper's deadlock
+  scenario can be reproduced and prevented;
+* **parallel data** is described alltoall-style — "the user define[s]
+  the data distribution layout using MPI data types, displacement and
+  count arrays" — via :class:`DCAParallelArg`.
+"""
+
+from repro.dca.engine import (
+    DCABuffer,
+    DCACallerPort,
+    DCAParallelArg,
+    DCAServerPort,
+    DeliveryPolicy,
+)
+from repro.dca.stubgen import generate_stubs
+from repro.dca.framework import DCAApplication
+
+__all__ = [
+    "DeliveryPolicy",
+    "DCACallerPort",
+    "DCAServerPort",
+    "DCAParallelArg",
+    "DCABuffer",
+    "generate_stubs",
+    "DCAApplication",
+]

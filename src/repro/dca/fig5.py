@@ -1,0 +1,96 @@
+"""The paper's Figure 5 synchronization scenario, as runnable code.
+
+Three caller processes talk to one serial provider:
+
+* process 0 participates only in **collective call 1** (all three),
+* processes 1 and 2 first make **collective call 2** (just the two of
+  them), then join call 1.
+
+"If the PRMI call is delivered as soon as one process reaches the
+calling point, the remote component will block at t1 waiting for data
+from processes 2 and 3, and will not accept the second collective call
+... The remote component will be blocked indefinitely ... The solution
+is to delay PRMI delivery until all processes are ready."
+
+:func:`run_fig5` executes the scenario under a chosen delivery policy.
+Under ``BARRIER`` it completes and returns the serviced-call timeline;
+under ``EAGER`` (with the stagger that makes the race deterministic) the
+deadlock forms and the runtime watchdog raises
+:class:`~repro.errors.SpmdError` wrapping per-rank
+:class:`~repro.errors.DeadlockError`\\ s.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.cca.sidl import arg, method, port
+from repro.dca.engine import DCACallerPort, DCAServerPort, DeliveryPolicy
+from repro.simmpi import NameService, run_coupled
+
+FIG5_PORT = port(
+    "Fig5Port",
+    method("collective_call_1", arg("x")),
+    method("collective_call_2", arg("x")),
+)
+
+
+class _Fig5Impl:
+    """Serial provider: records the order calls are serviced in."""
+
+    def __init__(self):
+        self.timeline: list[str] = []
+
+    def collective_call_1(self, x):
+        self.timeline.append("call1")
+        return f"r1:{x}"
+
+    def collective_call_2(self, x):
+        self.timeline.append("call2")
+        return f"r2:{x}"
+
+
+def run_fig5(policy: DeliveryPolicy, *, stagger: float = 0.15,
+             deadlock_timeout: float = 1.5) -> dict[str, Any]:
+    """Run the Fig. 5 scenario under ``policy``.
+
+    ``stagger`` delays processes 1 and 2 so that under EAGER delivery
+    the provider deterministically commits to call 1 first (the paper's
+    t1).  Returns ``{"timeline": [...], "callers": [...]}`` on success;
+    raises :class:`~repro.errors.SpmdError` on deadlock.
+    """
+    ns = NameService()
+
+    def provider(comm):
+        inter = ns.accept("fig5", comm)
+        impl = _Fig5Impl()
+        server = DCAServerPort(comm, inter, FIG5_PORT, impl)
+        server.serve_one()
+        server.serve_one()
+        return impl.timeline
+
+    def callers(comm):
+        inter = ns.connect("fig5", comm)
+        caller = DCACallerPort(comm, inter, FIG5_PORT, policy=policy)
+        all_three = comm  # participation: everyone
+        just_two = comm.create_subcomm([1, 2])
+        results = []
+        if comm.rank == 0:
+            # t1: process 1 (paper numbering) reaches call 1 immediately.
+            results.append(caller.invoke("collective_call_1",
+                                         pcomm=all_three, x="a"))
+        else:
+            # Processes 2 and 3 reach call 2 first (t2, t3)...
+            time.sleep(stagger)
+            results.append(caller.invoke("collective_call_2",
+                                         pcomm=just_two, x="b"))
+            # ...and only then call 1 (t4, t5).
+            results.append(caller.invoke("collective_call_1",
+                                         pcomm=all_three, x="a"))
+        return results
+
+    out = run_coupled(
+        [("provider", 1, provider, ()), ("callers", 3, callers, ())],
+        deadlock_timeout=deadlock_timeout)
+    return {"timeline": out["provider"][0], "callers": out["callers"]}

@@ -1,0 +1,119 @@
+"""DCA application orchestration: components as coupled SPMD jobs.
+
+A :class:`DCAApplication` declares parallel components (each its own
+job), their port connections, and runs everything concurrently — Go
+ports "are called at startup time, so all components that provide a Go
+port will be started concurrently" (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PortError
+from repro.cca.sidl import PortType
+from repro.dca.engine import (
+    DCACallerPort,
+    DCAServerPort,
+    DeliveryPolicy,
+)
+from repro.simmpi import NameService, run_coupled
+from repro.simmpi.communicator import Communicator
+
+
+@dataclass
+class _ComponentDef:
+    name: str
+    nranks: int
+    main: Callable[..., Any]
+    uses: dict[str, PortType] = field(default_factory=dict)
+    provides: dict[str, tuple[PortType, Callable[[Communicator], Any]]] = \
+        field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _Connection:
+    user: str
+    uses_port: str
+    provider: str
+    provides_port: str
+
+    @property
+    def service_name(self) -> str:
+        return f"{self.user}.{self.uses_port}->{self.provider}.{self.provides_port}"
+
+
+class DCAApplication:
+    """Declarative multi-component DCA application."""
+
+    def __init__(self, *, policy: DeliveryPolicy = DeliveryPolicy.BARRIER,
+                 deadlock_timeout: float = 10.0):
+        self.policy = policy
+        self.deadlock_timeout = deadlock_timeout
+        self._components: dict[str, _ComponentDef] = {}
+        self._connections: list[_Connection] = []
+
+    def add_component(self, name: str, nranks: int,
+                      main: Callable[..., Any], *,
+                      uses: dict[str, PortType] | None = None,
+                      provides: dict[str, tuple[PortType, Callable]] | None = None) -> None:
+        """Declare a parallel component.
+
+        ``main(comm, ports)`` is the component's Go body; ``ports`` maps
+        each declared port name to its :class:`DCACallerPort` (uses) or
+        :class:`DCAServerPort` (provides).
+        ``provides[name] = (port_type, impl_factory)`` where
+        ``impl_factory(comm)`` builds the rank-local implementation.
+        """
+        if name in self._components:
+            raise PortError(f"component {name!r} already declared")
+        self._components[name] = _ComponentDef(
+            name, nranks, main, dict(uses or {}), dict(provides or {}))
+
+    def connect(self, user: str, uses_port: str,
+                provider: str, provides_port: str) -> None:
+        for comp, port_name, side in ((user, uses_port, "uses"),
+                                      (provider, provides_port, "provides")):
+            if comp not in self._components:
+                raise PortError(f"unknown component {comp!r}")
+            ports = getattr(self._components[comp], side)
+            if port_name not in ports:
+                raise PortError(
+                    f"component {comp!r} declares no {side} port "
+                    f"{port_name!r}")
+        u_type = self._components[user].uses[uses_port]
+        p_type = self._components[provider].provides[provides_port][0]
+        if u_type.name != p_type.name:
+            raise PortError(
+                f"port type mismatch: {u_type.name!r} vs {p_type.name!r}")
+        self._connections.append(
+            _Connection(user, uses_port, provider, provides_port))
+
+    def run(self) -> dict[str, list[Any]]:
+        """Launch every component concurrently and return per-component,
+        per-rank results of their ``main`` functions."""
+        ns = NameService()
+        # A consistent global connection order makes the pairwise
+        # accept/connect rendezvous deadlock-free.
+        ordered = sorted(self._connections, key=lambda c: c.service_name)
+
+        def component_body(comm: Communicator, cdef: _ComponentDef):
+            ports: dict[str, Any] = {}
+            for conn in ordered:
+                if conn.provider == cdef.name:
+                    inter = ns.accept(conn.service_name, comm)
+                    port_type, factory = cdef.provides[conn.provides_port]
+                    impl = factory(comm)
+                    ports[conn.provides_port] = DCAServerPort(
+                        comm, inter, port_type, impl)
+                elif conn.user == cdef.name:
+                    inter = ns.connect(conn.service_name, comm)
+                    ports[conn.uses_port] = DCACallerPort(
+                        comm, inter, cdef.uses[conn.uses_port],
+                        policy=self.policy)
+            return cdef.main(comm, ports)
+
+        jobs = [(cdef.name, cdef.nranks, component_body, (cdef,))
+                for cdef in self._components.values()]
+        return run_coupled(jobs, deadlock_timeout=self.deadlock_timeout)

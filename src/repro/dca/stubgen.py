@@ -1,0 +1,53 @@
+"""DCA stub generation.
+
+"The stub generator that parses the SIDL source files automatically adds
+an extra argument to all port methods, of type MPI_Comm, that is used to
+communicate to the framework which processes participate in the parallel
+remote method invocation."
+
+:func:`generate_stubs` turns a :class:`~repro.cca.sidl.PortType` into a
+stub object whose methods mirror the port's methods with that extra
+``pcomm`` parameter prepended — calling a stub method performs the full
+DCA invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cca.sidl import PortType
+from repro.dca.engine import DCACallerPort
+from repro.simmpi.communicator import Communicator
+
+
+class _Stub:
+    """Dynamically populated namespace of generated port methods."""
+
+    def __init__(self, port_name: str):
+        self._port_name = port_name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        methods = [k for k in vars(self) if not k.startswith("_")]
+        return f"<DCA stub for {self._port_name}: {sorted(methods)}>"
+
+
+def generate_stubs(caller: DCACallerPort) -> _Stub:
+    """Generate caller-side stub functions for every port method.
+
+    Each generated method has the signature
+    ``stub.method(pcomm, **kwargs)`` — the participation communicator is
+    the auto-added first argument; pass ``None`` for full participation.
+    """
+    stub = _Stub(caller.port_type.name)
+    for spec in caller.port_type.methods:
+        def make(method_name: str):
+            def call(pcomm: Communicator | None = None, **kwargs: Any) -> Any:
+                return caller.invoke(method_name, pcomm=pcomm, **kwargs)
+            call.__name__ = method_name
+            call.__doc__ = (
+                f"Generated DCA stub for {caller.port_type.name}."
+                f"{method_name}; first argument is the participation "
+                f"communicator (None = whole cohort).")
+            return call
+        setattr(stub, spec.name, make(spec.name))
+    return stub

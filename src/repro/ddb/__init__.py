@@ -1,0 +1,26 @@
+"""DDB — the Distributed Data Broker model (paper §5).
+
+"Another tool for model coupling is the Distributed Data Broker (DDB),
+which is a general purpose tool from UC Berkeley for coupling multiple
+parallel models that exchange large volumes of data.  The DDB provides
+a mechanism for coupling codes with different grid resolutions and data
+representations."
+
+The model here: producers *offer* named 1-D fields (profiles) at their
+grid resolution; consumers *request* them at **their own** resolution
+and decomposition.  The broker matches offers to requests and plans the
+coupling; the data itself never touches the broker — it moves directly
+producer→consumer as schedule messages, and the resolution change runs
+as a distributed sparse regrid (reusing the MCT interpolation engine)
+on the consumer side:
+
+1. the producer-resolution field is redistributed M×N onto the
+   consumer's ranks,
+2. a conservative-average (coarsening) or linear-interpolation
+   (refinement) matrix maps it to the consumer's resolution in parallel.
+"""
+
+from repro.ddb.broker import DataBroker
+from repro.ddb.regrid import regrid_matrix
+
+__all__ = ["DataBroker", "regrid_matrix"]

@@ -1,0 +1,73 @@
+"""1-D resolution-change operators for brokered coupling.
+
+Coarsening uses conservative cell averaging (row-stochastic over the
+overlapped source cells); refinement uses linear interpolation of cell
+centres.  Both come back as global COO triplets ready for the MCT
+sparse-matvec engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def regrid_matrix(n_src: int, n_dst: int
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO (rows, cols, vals) of the ``n_src -> n_dst`` regrid operator."""
+    if n_src < 2 or n_dst < 1:
+        raise ReproError(
+            f"regrid needs n_src >= 2 and n_dst >= 1, got "
+            f"{n_src} -> {n_dst}")
+    if n_dst <= n_src:
+        return _conservative_average(n_src, n_dst)
+    return _linear_interpolation(n_src, n_dst)
+
+
+def _conservative_average(n_src: int, n_dst: int):
+    """Each destination cell averages its overlapping source cells,
+    weighted by overlap fraction (rows sum to 1)."""
+    rows, cols, vals = [], [], []
+    src_edges = np.linspace(0.0, 1.0, n_src + 1)
+    dst_edges = np.linspace(0.0, 1.0, n_dst + 1)
+    for i in range(n_dst):
+        lo, hi = dst_edges[i], dst_edges[i + 1]
+        j0 = int(np.searchsorted(src_edges, lo, "right")) - 1
+        j1 = int(np.searchsorted(src_edges, hi, "left"))
+        for j in range(j0, j1):
+            overlap = min(hi, src_edges[j + 1]) - max(lo, src_edges[j])
+            if overlap > 0:
+                rows.append(i)
+                cols.append(j)
+                vals.append(overlap / (hi - lo))
+    return (np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            np.array(vals, dtype=np.float64))
+
+
+def _linear_interpolation(n_src: int, n_dst: int):
+    """Destination cell centres linearly interpolated between source
+    cell centres (clamped at the boundary half-cells)."""
+    rows, cols, vals = [], [], []
+    xs = (np.arange(n_src) + 0.5) / n_src
+    xd = (np.arange(n_dst) + 0.5) / n_dst
+    for i, x in enumerate(xd):
+        if x <= xs[0]:
+            rows.append(i)
+            cols.append(0)
+            vals.append(1.0)
+            continue
+        if x >= xs[-1]:
+            rows.append(i)
+            cols.append(n_src - 1)
+            vals.append(1.0)
+            continue
+        j = int(np.searchsorted(xs, x)) - 1
+        t = (x - xs[j]) / (xs[j + 1] - xs[j])
+        rows += [i, i]
+        cols += [j, j + 1]
+        vals += [1.0 - t, t]
+    return (np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            np.array(vals, dtype=np.float64))

@@ -1,0 +1,40 @@
+"""DRI — the Data Reorganization Interface standard model (paper §5).
+
+"The Data Reorganization Interface Standard (DRI-1.0) is the result of
+a DARPA-sponsored effort targeted at the military signal and image
+processing community.  DRI datasets are arrays of up to three
+dimensions ...  Block and block-cyclic partitions are supported, and
+local memory layouts are distinguished from the data distribution.  The
+data types specified in the DRI standard include float, double,
+complex, double complex, integer, short, unsigned short, long, unsigned
+long, char, unsigned char, and byte.  Reorganization operations in DRI
+are collective, and are handled at a low level.  The user provides send
+and receive buffers and repeatedly call[s] DRI get/put operations until
+the operation is complete."
+
+Faithful to that description, this model provides:
+
+* the DRI **type registry** (:data:`DRI_TYPES`),
+* :class:`DRIDataset` — ≤3-D arrays, BLOCK / BLOCK_CYCLIC partitions
+  per axis, with the *local memory layout* (row- vs column-major)
+  independent of the distribution,
+* :class:`DRIReorg` — a reorganization plan whose handle exposes the
+  standard's low-level staged interface: ``put()`` posts one outgoing
+  fragment, ``get()`` drains one incoming fragment, looped "until the
+  operation is complete".
+"""
+
+from repro.dri.types import DRI_TYPES, dri_dtype
+from repro.dri.dataset import BLOCK, BLOCK_CYCLIC, DRIDataset, Partition
+from repro.dri.reorg import DRIReorg, DRIReorgHandle
+
+__all__ = [
+    "DRI_TYPES",
+    "dri_dtype",
+    "DRIDataset",
+    "Partition",
+    "BLOCK",
+    "BLOCK_CYCLIC",
+    "DRIReorg",
+    "DRIReorgHandle",
+]

@@ -1,0 +1,140 @@
+"""DRI datasets: ≤3-D arrays with per-axis BLOCK/BLOCK_CYCLIC partitions
+and an independent local memory layout.
+
+"Local memory layouts are distinguished from the data distribution" —
+the same distribution can back row-major or column-major local buffers;
+the reorganization machinery translates between them and the global
+index space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError, ReproError
+from repro.dad.axis import Block, BlockCyclic, Collapsed
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.dad.template import CartesianTemplate
+from repro.dri.types import dri_dtype
+from repro.util.regions import Region
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Per-axis partition spec."""
+
+    kind: str                 # "block" | "block_cyclic" | "collapsed"
+    nprocs: int = 1
+    blocksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("block", "block_cyclic", "collapsed"):
+            raise ReproError(f"unknown partition kind {self.kind!r}")
+        if self.nprocs < 1 or self.blocksize < 1:
+            raise ReproError(f"invalid partition {self}")
+
+
+def BLOCK(nprocs: int) -> Partition:
+    return Partition("block", nprocs)
+
+
+def BLOCK_CYCLIC(nprocs: int, blocksize: int) -> Partition:
+    return Partition("block_cyclic", nprocs, blocksize)
+
+
+COLLAPSED = Partition("collapsed")
+
+
+class DRIDataset:
+    """One distributed dataset in the DRI model."""
+
+    MAX_DIMS = 3  # "arrays of up to three dimensions"
+
+    def __init__(self, shape: Sequence[int],
+                 partitions: Sequence[Partition],
+                 dtype_name: str = "double",
+                 *, layout_order: str = "C"):
+        shape = tuple(int(s) for s in shape)
+        if not (1 <= len(shape) <= self.MAX_DIMS):
+            raise ReproError(
+                f"DRI datasets support 1..{self.MAX_DIMS} dimensions, "
+                f"got {len(shape)}")
+        if len(partitions) != len(shape):
+            raise ReproError(
+                f"{len(shape)} axes need {len(shape)} partitions, got "
+                f"{len(partitions)}")
+        if layout_order not in ("C", "F"):
+            raise ReproError(f"layout_order must be 'C' or 'F'")
+        axes = []
+        for extent, part in zip(shape, partitions):
+            if part.kind == "collapsed":
+                axes.append(Collapsed(extent))
+            elif part.kind == "block":
+                axes.append(Block(extent, part.nprocs))
+            else:
+                axes.append(BlockCyclic(extent, part.nprocs,
+                                        part.blocksize))
+        self.dtype = dri_dtype(dtype_name)
+        self.dtype_name = dtype_name
+        self.layout_order = layout_order
+        self.descriptor = DistArrayDescriptor(
+            CartesianTemplate(axes), self.dtype)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.descriptor.shape
+
+    @property
+    def nranks(self) -> int:
+        return self.descriptor.nranks
+
+    # -- local buffers ------------------------------------------------------
+
+    def local_buffer_size(self, rank: int) -> int:
+        """Elements in this rank's local buffer."""
+        return self.descriptor.local_volume(rank)
+
+    def allocate_local(self, rank: int) -> np.ndarray:
+        """A correctly sized 1-D local buffer."""
+        return np.zeros(self.local_buffer_size(rank), dtype=self.dtype)
+
+    def patch_views(self, rank: int,
+                    buffer: np.ndarray) -> list[tuple[Region, np.ndarray]]:
+        """Writable patch-shaped views into a local 1-D buffer.
+
+        Patches appear in ascending region order; each occupies a
+        contiguous buffer segment interpreted in the dataset's local
+        memory layout (C or F order) — the layout/distribution split the
+        standard requires.
+        """
+        buffer = np.asarray(buffer)
+        if buffer.shape != (self.local_buffer_size(rank),):
+            raise DistributionError(
+                f"rank {rank} buffer must have shape "
+                f"({self.local_buffer_size(rank)},), got {buffer.shape}")
+        views = []
+        offset = 0
+        regions = sorted(self.descriptor.local_regions(rank),
+                         key=lambda r: r.lo)
+        for region in regions:
+            seg = buffer[offset:offset + region.volume]
+            views.append(
+                (region, seg.reshape(region.shape,
+                                     order=self.layout_order)))
+            offset += region.volume
+        return views
+
+    def fill_local_from_global(self, rank: int, buffer: np.ndarray,
+                               global_array: np.ndarray) -> None:
+        """Scatter a replicated global array into a local buffer."""
+        for region, view in self.patch_views(rank, buffer):
+            view[...] = global_array[region.to_slices()]
+
+    def scatter_local_to_global(self, rank: int, buffer: np.ndarray,
+                                global_array: np.ndarray) -> None:
+        """Write a local buffer's patches back into a global array."""
+        for region, view in self.patch_views(rank, buffer):
+            global_array[region.to_slices()] = view

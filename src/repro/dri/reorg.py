@@ -1,0 +1,119 @@
+"""DRI reorganization: the low-level staged get/put interface.
+
+"Reorganization operations in DRI are collective, and are handled at a
+low level.  The user provides send and receive buffers and repeatedly
+calling DRI get/put operations until the operation is complete."
+
+A :class:`DRIReorg` plan precomputes the schedule between two datasets;
+:meth:`DRIReorg.begin` binds it to this rank's buffers and returns a
+handle.  Each ``put()`` posts exactly one outgoing fragment, each
+``get()`` completes exactly one incoming fragment — the user loops both
+until :meth:`DRIReorgHandle.complete`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError, ScheduleError
+from repro.dri.dataset import DRIDataset
+from repro.schedule.builder import build_region_schedule
+from repro.simmpi.communicator import Communicator
+
+REORG_TAG = 200
+
+
+class DRIReorg:
+    """A reorganization plan between two DRI datasets."""
+
+    def __init__(self, src: DRIDataset, dst: DRIDataset):
+        if src.shape != dst.shape:
+            raise ScheduleError(
+                f"dataset shapes differ: {src.shape} vs {dst.shape}")
+        if src.dtype != dst.dtype:
+            raise ReproError(
+                f"DRI reorganization requires matching types, got "
+                f"{src.dtype_name!r} and {dst.dtype_name!r}")
+        self.src = src
+        self.dst = dst
+        self.schedule = build_region_schedule(src.descriptor,
+                                              dst.descriptor)
+
+    def begin(self, comm: Communicator, sendbuf: np.ndarray | None,
+              recvbuf: np.ndarray | None) -> "DRIReorgHandle":
+        """Bind the plan to this rank's buffers.
+
+        ``sendbuf`` may be None on ranks outside the source partition,
+        ``recvbuf`` likewise for the destination.  Collective in the
+        sense that every participating rank must drive its handle to
+        completion.
+        """
+        return DRIReorgHandle(self, comm, sendbuf, recvbuf)
+
+
+class DRIReorgHandle:
+    """Per-rank progress state of one reorganization."""
+
+    def __init__(self, plan: DRIReorg, comm: Communicator,
+                 sendbuf: np.ndarray | None,
+                 recvbuf: np.ndarray | None):
+        self.plan = plan
+        self.comm = comm
+        me = comm.rank
+        self._pending_puts = []
+        self._pending_gets = []
+        if me < plan.src.nranks:
+            if sendbuf is None:
+                raise ReproError(f"rank {me} is a source; sendbuf required")
+            self._src_views = dict(plan.src.patch_views(me, sendbuf))
+            self._pending_puts = list(plan.schedule.sends_from(me))
+        if me < plan.dst.nranks:
+            if recvbuf is None:
+                raise ReproError(
+                    f"rank {me} is a destination; recvbuf required")
+            self._dst_views = dict(plan.dst.patch_views(me, recvbuf))
+            self._pending_gets = list(plan.schedule.recvs_at(me))
+        self.puts_done = 0
+        self.gets_done = 0
+
+    # -- the staged interface ------------------------------------------------
+
+    def put(self) -> bool:
+        """Post one outgoing fragment; returns False when none remain."""
+        if not self._pending_puts:
+            return False
+        dst, region = self._pending_puts.pop(0)
+        for owned, view in self._src_views.items():
+            if owned.contains(region):
+                data = region.view(view, owned)
+                self.comm.send(np.ascontiguousarray(data), dst, REORG_TAG)
+                self.puts_done += 1
+                return True
+        raise ScheduleError(
+            f"fragment {region} not found in source views")  # pragma: no cover
+
+    def get(self) -> bool:
+        """Complete one incoming fragment; returns False when none
+        remain.  Blocks until that fragment's message arrives."""
+        if not self._pending_gets:
+            return False
+        src, region = self._pending_gets.pop(0)
+        data = self.comm.recv(source=src, tag=REORG_TAG)
+        for owned, view in self._dst_views.items():
+            if owned.contains(region):
+                region.view(view, owned)[...] = np.asarray(data).reshape(
+                    region.shape)
+                self.gets_done += 1
+                return True
+        raise ScheduleError(
+            f"fragment {region} not found in destination views")  # pragma: no cover
+
+    def complete(self) -> bool:
+        """True once every fragment has been put and got."""
+        return not self._pending_puts and not self._pending_gets
+
+    def run_to_completion(self) -> None:
+        """Convenience: the standard's canonical loop."""
+        while not self.complete():
+            self.put()
+            self.get()

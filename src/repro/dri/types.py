@@ -1,0 +1,37 @@
+"""The DRI-1.0 data type registry.
+
+The standard's types, mapped to NumPy dtypes: "float, double, complex,
+double complex, integer, short, unsigned short, long, unsigned long,
+char, unsigned char, and byte."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+DRI_TYPES: dict[str, np.dtype] = {
+    "float": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+    "complex": np.dtype(np.complex64),
+    "double_complex": np.dtype(np.complex128),
+    "integer": np.dtype(np.int32),
+    "short": np.dtype(np.int16),
+    "unsigned_short": np.dtype(np.uint16),
+    "long": np.dtype(np.int64),
+    "unsigned_long": np.dtype(np.uint64),
+    "char": np.dtype(np.int8),
+    "unsigned_char": np.dtype(np.uint8),
+    "byte": np.dtype(np.uint8),
+}
+
+
+def dri_dtype(name: str) -> np.dtype:
+    """NumPy dtype of a DRI type name."""
+    try:
+        return DRI_TYPES[name.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown DRI type {name!r}; standard types are "
+            f"{sorted(DRI_TYPES)}") from None

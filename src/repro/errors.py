@@ -1,0 +1,111 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+applications can catch middleware failures distinctly from programming
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CommunicatorError(ReproError):
+    """Invalid communicator usage (bad rank, freed communicator, ...)."""
+
+
+class MessageTruncationError(CommunicatorError):
+    """A receive buffer was too small for the matched message."""
+
+
+class DeadlockError(ReproError):
+    """The runtime watchdog determined that a set of ranks can no longer
+    make progress.
+
+    Carries a human-readable state dump of every blocked rank so test
+    suites fail with diagnostics instead of hanging.
+    """
+
+    def __init__(self, message: str, blocked: dict[int, str] | None = None):
+        super().__init__(message)
+        #: Mapping of rank -> description of what the rank is blocked on.
+        self.blocked = dict(blocked or {})
+
+
+class SpmdError(ReproError):
+    """One or more ranks of an SPMD job raised an exception.
+
+    The original per-rank exceptions are available in :attr:`failures`.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        lines = [f"{len(failures)} rank(s) failed:"]
+        for rank in sorted(failures):
+            exc = failures[rank]
+            lines.append(f"  rank {rank}: {type(exc).__name__}: {exc}")
+        super().__init__("\n".join(lines))
+
+
+class DistributionError(ReproError):
+    """An invalid data distribution (overlap, gap, bad block size, ...)."""
+
+
+class AlignmentError(DistributionError):
+    """An actual array cannot be aligned to the requested template."""
+
+
+class ScheduleError(ReproError):
+    """A communication schedule could not be built or executed."""
+
+
+class RegistrationError(ReproError):
+    """Invalid M×N field registration (duplicate name, bad mode, ...)."""
+
+
+class ConnectionError_(ReproError):
+    """An M×N connection could not be created or used.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class PortError(ReproError):
+    """CCA port misuse: unknown port, type mismatch, unconnected uses port."""
+
+
+class PRMIError(ReproError):
+    """Violation of parallel remote method invocation semantics."""
+
+
+class ParticipationError(PRMIError):
+    """Inconsistent process participation in a collective invocation."""
+
+
+class SimpleArgumentMismatch(PRMIError):
+    """A ``simple`` argument had different values across calling ranks."""
+
+
+class OneWayReturnError(PRMIError):
+    """A one-way method declared a return value or out argument."""
+
+
+class CoordinationError(ReproError):
+    """InterComm-style coordination spec mismatch or matching failure."""
+
+
+class MCTError(ReproError):
+    """Model Coupling Toolkit usage error."""
+
+
+class WindowError(ReproError):
+    """Roccom-style window misuse: unknown window/pane/function."""
+
+
+class PermissionError_(WindowError):
+    """Access to a window denied by its owner module.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """

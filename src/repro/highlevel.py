@@ -1,0 +1,172 @@
+"""High-level convenience API — §6's "user-friendly simplifications".
+
+"The complexity of the current port interfaces alludes to the low-level
+'assembly-language' nature of our current understanding of this
+technology.  More user-friendly simplifications will be developed for
+the most common operations, to make this technology more readily
+available and practical for everyday usage."
+
+Two simplifications cover the overwhelmingly common cases:
+
+* :func:`redistribute` — one call to move a replicated array between
+  two decompositions inside one job (testing, bootstrapping, demos);
+* :class:`Coupler` — one object per coupled field between two programs:
+  the producer calls :meth:`Coupler.publish`, the consumer
+  :meth:`Coupler.subscribe`; descriptor exchange, schedule construction
+  and caching all happen behind the scenes.  :meth:`Coupler.open` gives
+  a persistent channel with ``push``/``pull`` for time loops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConnectionError_
+from repro.dad.darray import DistributedArray
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.dad.template import block_template
+from repro.schedule.builder import ScheduleCache
+from repro.schedule.executor import execute_inter, execute_intra
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.intercomm import Intercommunicator, NameService
+from repro.simmpi.runner import run_spmd
+
+#: Process-wide schedule cache shared by the convenience layer.
+_cache = ScheduleCache()
+
+_HANDSHAKE_TAG = 150
+_DATA_TAG = 151
+
+
+def redistribute(global_array: np.ndarray,
+                 src_grid: Sequence[int],
+                 dst_grid: Sequence[int]) -> np.ndarray:
+    """Scatter ``global_array`` onto ``src_grid`` blocks, redistribute to
+    ``dst_grid`` blocks, and reassemble — the whole Fig. 1 pipeline in
+    one call (runs an SPMD job internally)."""
+    global_array = np.asarray(global_array)
+    src = DistArrayDescriptor(
+        block_template(global_array.shape, src_grid), global_array.dtype)
+    dst = DistArrayDescriptor(
+        block_template(global_array.shape, dst_grid), global_array.dtype)
+    sched = _cache.get(src, dst)
+    n = max(src.nranks, dst.nranks)
+
+    def main(comm):
+        sa = (DistributedArray.from_global(src, comm.rank, global_array)
+              if comm.rank < src.nranks else None)
+        da = (DistributedArray.allocate(dst, comm.rank)
+              if comm.rank < dst.nranks else None)
+        execute_intra(sched, comm, src_array=sa, dst_array=da,
+                      src_ranks=range(src.nranks),
+                      dst_ranks=range(dst.nranks))
+        return da
+
+    parts = [p for p in run_spmd(n, main) if p is not None]
+    return DistributedArray.assemble(parts)
+
+
+class Channel:
+    """A persistent coupled-field channel (see :meth:`Coupler.open`)."""
+
+    def __init__(self, inter: Intercommunicator, role: str,
+                 schedule, darray: DistributedArray):
+        self._inter = inter
+        self._role = role
+        self._schedule = schedule
+        self._darray = darray
+        self.transfers = 0
+
+    def push(self) -> None:
+        """Producer side: send the current contents of the local array."""
+        if self._role != "source":
+            raise ConnectionError_("push() is for the publishing side")
+        execute_inter(self._schedule, self._inter, "src", self._darray,
+                      tag=_DATA_TAG)
+        self.transfers += 1
+
+    def pull(self) -> DistributedArray:
+        """Consumer side: receive the next snapshot into the local array."""
+        if self._role != "destination":
+            raise ConnectionError_("pull() is for the subscribing side")
+        execute_inter(self._schedule, self._inter, "dst", self._darray,
+                      tag=_DATA_TAG)
+        self.transfers += 1
+        return self._darray
+
+    @property
+    def array(self) -> DistributedArray:
+        return self._darray
+
+
+class Coupler:
+    """One-line coupling of a named field between two programs.
+
+    Both programs construct ``Coupler(name, nameservice)``; the producer
+    then calls :meth:`publish` (or :meth:`open` + ``push``), the
+    consumer :meth:`subscribe` (or :meth:`open` + ``pull``).
+    """
+
+    def __init__(self, name: str, nameservice: NameService):
+        self.name = name
+        self.nameservice = nameservice
+
+    # -- connection plumbing ------------------------------------------------
+
+    def _handshake(self, comm: Communicator, role: str,
+                   descriptor: DistArrayDescriptor):
+        if role == "source":
+            inter = self.nameservice.accept(self.name, comm)
+        else:
+            inter = self.nameservice.connect(self.name, comm)
+        if comm.rank == 0:
+            inter.send(descriptor, dest=0, tag=_HANDSHAKE_TAG)
+            peer = inter.recv(source=0, tag=_HANDSHAKE_TAG)
+        else:
+            peer = None
+        peer = comm.bcast(peer, root=0)
+        if role == "source":
+            sched = _cache.get(descriptor, peer)
+        else:
+            sched = _cache.get(peer, descriptor)
+        return inter, sched
+
+    # -- one-shot -----------------------------------------------------------------
+
+    def publish(self, comm: Communicator, darray: DistributedArray) -> int:
+        """Producer: push one snapshot of the field; returns elements
+        sent by this rank."""
+        inter, sched = self._handshake(comm, "source", darray.descriptor)
+        return execute_inter(sched, inter, "src", darray, tag=_DATA_TAG)
+
+    def subscribe(self, comm: Communicator,
+                  layout: DistArrayDescriptor) -> DistributedArray:
+        """Consumer: receive one snapshot in ``layout``."""
+        inter, sched = self._handshake(comm, "destination", layout)
+        darray = DistributedArray.allocate(layout, comm.rank)
+        execute_inter(sched, inter, "dst", darray, tag=_DATA_TAG)
+        return darray
+
+    # -- persistent ------------------------------------------------------------------
+
+    def open(self, comm: Communicator, role: str,
+             darray_or_layout) -> Channel:
+        """Open a persistent channel.
+
+        Producer: ``open(comm, "source", darray)``.
+        Consumer: ``open(comm, "destination", layout_descriptor)`` —
+        the local array is allocated for you (``channel.array``).
+        """
+        if role == "source":
+            darray = darray_or_layout
+            inter, sched = self._handshake(comm, role, darray.descriptor)
+        elif role == "destination":
+            layout = darray_or_layout
+            darray = DistributedArray.allocate(layout, comm.rank)
+            inter, sched = self._handshake(comm, role, layout)
+        else:
+            raise ConnectionError_(
+                f"role must be 'source' or 'destination', got {role!r}")
+        return Channel(inter, role, sched, darray)

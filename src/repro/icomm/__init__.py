@@ -1,0 +1,29 @@
+"""InterComm (paper §4.4) — coupling framework with timestamp control.
+
+Two distinguishing features of InterComm are modelled:
+
+* **descriptor storage classes** — block distributions have small
+  descriptors "replicated on each of the processes", while explicit
+  (element-level) distributions have one entry per element and "must be
+  partitioned across the participating processes"
+  (:mod:`repro.icomm.descriptors`);
+* **decoupled transfer control** — "programs only express potential
+  data transfers with import and export calls"; a third-party
+  *coordination specification* matches them by timestamp "via various
+  types of matching criteria" (:mod:`repro.icomm.coordination`,
+  :mod:`repro.icomm.coupling`).
+"""
+
+from repro.icomm.descriptors import ICBlockDescriptor, ICExplicitDescriptor
+from repro.icomm.coordination import CoordinationSpec, MatchRule, Matching
+from repro.icomm.coupling import Exporter, Importer
+
+__all__ = [
+    "ICBlockDescriptor",
+    "ICExplicitDescriptor",
+    "CoordinationSpec",
+    "MatchRule",
+    "Matching",
+    "Exporter",
+    "Importer",
+]

@@ -1,0 +1,126 @@
+"""Timestamp matching criteria for InterComm-style coordination.
+
+"The actual data transfers take place based on coordination rules
+determined by a third party responsible for orchestrating the entire
+coupled simulation ...  The key idea for the coordination specification
+is the use of timestamps to determine when a data transfer will occur,
+via various types of matching criteria."
+
+A :class:`CoordinationSpec` is plain data built by that third party and
+given to both programs; neither needs "to know in advance the
+communication patterns of its potential partners".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CoordinationError
+
+
+class Matching(enum.Enum):
+    """How an import timestamp selects among export timestamps."""
+
+    #: Import at t consumes the export stamped exactly t.
+    EXACT = "exact"
+    #: Import at t consumes the greatest export timestamp <= t.
+    GREATEST_LOWER_BOUND = "glb"
+    #: Only exports at multiples of ``interval`` are eligible; import at
+    #: t consumes the export at floor(t / interval) * interval.
+    REGULAR = "regular"
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """Coordination rule for one field."""
+
+    field: str
+    matching: Matching = Matching.EXACT
+    interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.matching is Matching.REGULAR and self.interval < 1:
+            raise CoordinationError(
+                f"REGULAR matching needs interval >= 1, got {self.interval}")
+
+    # -- matching logic ----------------------------------------------------
+
+    def eligible(self, export_ts: int) -> bool:
+        """Is an export at this timestamp a candidate at all?"""
+        if self.matching is Matching.REGULAR:
+            return export_ts % self.interval == 0
+        return True
+
+    def resolve(self, import_ts: int, buffered: list[int],
+                latest_export: int | None,
+                stream_done: bool) -> int | None:
+        """Decide which buffered export timestamp satisfies an import.
+
+        Returns the chosen export timestamp, ``None`` when the decision
+        must wait for future exports, and raises
+        :class:`CoordinationError` when no export can ever match.
+        """
+        candidates = sorted(ts for ts in buffered if self.eligible(ts))
+        if self.matching is Matching.EXACT:
+            if import_ts in candidates:
+                return import_ts
+            if (latest_export is not None and latest_export >= import_ts) \
+                    or stream_done:
+                raise CoordinationError(
+                    f"field {self.field!r}: no export at timestamp "
+                    f"{import_ts} (EXACT matching)")
+            return None
+        if self.matching is Matching.REGULAR:
+            target = (import_ts // self.interval) * self.interval
+            if target in candidates:
+                return target
+            if (latest_export is not None and latest_export >= target
+                    and target not in candidates) or stream_done:
+                raise CoordinationError(
+                    f"field {self.field!r}: export at timestamp {target} "
+                    f"(REGULAR/{self.interval} for import {import_ts}) "
+                    f"was never produced or already evicted")
+            return None
+        # GREATEST_LOWER_BOUND: safe to answer once an export beyond the
+        # import timestamp exists (the GLB can no longer change), or at
+        # stream end.
+        lower = [ts for ts in candidates if ts <= import_ts]
+        if lower and ((latest_export is not None
+                       and latest_export > import_ts) or stream_done):
+            return lower[-1]
+        if stream_done:
+            raise CoordinationError(
+                f"field {self.field!r}: no export <= timestamp "
+                f"{import_ts} (GLB matching)")
+        return None
+
+
+class CoordinationSpec:
+    """The third party's rule book: one rule per coupled field."""
+
+    def __init__(self, rules: list[MatchRule] | None = None,
+                 *, history: int = 32):
+        if history < 1:
+            raise CoordinationError("history must be >= 1")
+        self._rules: dict[str, MatchRule] = {}
+        #: How many past exports each side buffers per field.
+        self.history = history
+        for rule in rules or []:
+            self.add(rule)
+
+    def add(self, rule: MatchRule) -> None:
+        if rule.field in self._rules:
+            raise CoordinationError(
+                f"field {rule.field!r} already has a rule")
+        self._rules[rule.field] = rule
+
+    def rule(self, field: str) -> MatchRule:
+        try:
+            return self._rules[field]
+        except KeyError:
+            raise CoordinationError(
+                f"no coordination rule for field {field!r}") from None
+
+    def fields(self) -> list[str]:
+        return sorted(self._rules)

@@ -1,0 +1,91 @@
+"""InterComm array descriptors: replicated blocks vs. partitioned explicit.
+
+"In InterComm array distributions are classified into two types: those
+in which entire blocks of an array are assigned to processes, block
+distributions, and those in which individual elements are assigned
+independently to a particular process, irregular or explicit
+distributions.  For block distributions, the data structure required to
+describe the distribution is relatively small, so can be replicated on
+each of the processes ...  For explicit distributions ... the
+descriptor itself is rather large and must be partitioned across the
+participating processes."
+
+Experiment E14 regenerates that storage asymmetry from these classes'
+``per_rank_entries`` accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.dad.axis import Implicit
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.dad.template import CartesianTemplate, ExplicitTemplate, Template
+from repro.util.regions import Region
+
+
+class ICBlockDescriptor:
+    """Block-style distribution: whole rectangular regions per process.
+
+    The region list is small (independent of element count), so the
+    full descriptor is replicated on every rank.
+    """
+
+    storage = "replicated"
+
+    def __init__(self, shape: Sequence[int],
+                 patches: Sequence[tuple[int, Region]],
+                 nranks: int | None = None):
+        self.template: Template = ExplicitTemplate(shape, patches, nranks)
+        self._patch_count = len(list(patches))
+
+    @classmethod
+    def from_template(cls, template: Template) -> "ICBlockDescriptor":
+        return cls(template.shape, template.all_owner_regions(),
+                   template.nranks)
+
+    @property
+    def nranks(self) -> int:
+        return self.template.nranks
+
+    def descriptor(self, dtype=np.float64) -> DistArrayDescriptor:
+        return DistArrayDescriptor(self.template, dtype)
+
+    def per_rank_entries(self, rank: int) -> int:
+        """Replicated: every rank stores every patch record."""
+        ndim = self.template.ndim
+        return self._patch_count * (2 * ndim + 1)
+
+
+class ICExplicitDescriptor:
+    """Element-level (irregular) distribution of a 1-D index space.
+
+    One descriptor entry per element; each rank stores only the entries
+    for its own elements (partitioned storage).
+    """
+
+    storage = "partitioned"
+
+    def __init__(self, owners: Sequence[int], nranks: int | None = None):
+        owners_arr = np.asarray(owners, dtype=np.int64)
+        axis = Implicit(owners_arr, nprocs=nranks)
+        self.template: Template = CartesianTemplate([axis])
+        self.owners = owners_arr
+
+    @property
+    def nranks(self) -> int:
+        return self.template.nranks
+
+    def descriptor(self, dtype=np.float64) -> DistArrayDescriptor:
+        return DistArrayDescriptor(self.template, dtype)
+
+    def per_rank_entries(self, rank: int) -> int:
+        """Partitioned: a rank stores one global-index entry per element
+        it owns."""
+        if not (0 <= rank < self.nranks):
+            raise DistributionError(
+                f"rank {rank} out of range for {self.nranks} ranks")
+        return int(np.count_nonzero(self.owners == rank))

@@ -1,0 +1,33 @@
+"""Linearization — the Meta-Chaos intermediate representation (§2.2.1).
+
+"The elements of the source array are mapped to a linear,
+one-dimensional arrangement, which constitutes the abstract intermediate
+representation. ... Linearization simplifies the task of matching a
+variety of data structures, from multidimensional arrays to trees or
+graphs."
+
+A :class:`Linearization` assigns every element of some distributed data
+structure a position in ``[0, total)``.  Ownership becomes a set of
+*runs* (half-open linear intervals) per rank; matching a source and a
+destination structure reduces to intersecting run lists, regardless of
+the structures' shapes.  The linearization is logical — "it does not
+imply serialization - ... actual transfers can be carried out fully in
+parallel".
+"""
+
+from repro.linearize.linearization import (
+    DenseLinearization,
+    Linearization,
+    Run,
+)
+from repro.linearize.structures import GraphLinearization, TreeLinearization
+from repro.linearize.protocol import receiver_driven_transfer
+
+__all__ = [
+    "Linearization",
+    "DenseLinearization",
+    "GraphLinearization",
+    "TreeLinearization",
+    "Run",
+    "receiver_driven_transfer",
+]

@@ -1,0 +1,60 @@
+"""Accumulator: time averaging and accumulation registers.
+
+"Registers for time averaging and accumulation of field data for use in
+coupling concurrently executing components that do not share a common
+time-step, or are coupled at a frequency of multiple time-steps."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MCTError
+from repro.mct.attrvect import AttrVect
+
+
+class Accumulator:
+    """Running per-field sums with step counting.
+
+    ``actions`` picks, per field, whether :meth:`value` reports the
+    accumulated **sum** (flux-like fields) or the time **average**
+    (state-like fields).  Default is averaging.
+    """
+
+    def __init__(self, fields: Sequence[str], lsize: int,
+                 actions: dict[str, str] | None = None):
+        self.register = AttrVect(fields, lsize)
+        self.steps = 0
+        self.actions = {name: "average" for name in self.register.fields}
+        for name, action in (actions or {}).items():
+            if name not in self.actions:
+                raise MCTError(f"unknown field {name!r}")
+            if action not in ("average", "sum"):
+                raise MCTError(
+                    f"action must be 'average' or 'sum', got {action!r}")
+            self.actions[name] = action
+
+    def accumulate(self, av: AttrVect) -> None:
+        """Add one time sample."""
+        if av.fields != self.register.fields or \
+                av.lsize != self.register.lsize:
+            raise MCTError(
+                f"sample does not match register "
+                f"({av.fields}/{av.lsize} vs "
+                f"{self.register.fields}/{self.register.lsize})")
+        self.register.data += av.data
+        self.steps += 1
+
+    def value(self) -> AttrVect:
+        """The accumulated result (sum or average per field's action)."""
+        if self.steps == 0:
+            raise MCTError("accumulator is empty")
+        out = self.register.copy()
+        for name in out.fields:
+            if self.actions[name] == "average":
+                out[name] = out[name] / self.steps
+        return out
+
+    def reset(self) -> None:
+        self.register.data[:] = 0.0
+        self.steps = 0

@@ -1,0 +1,64 @@
+"""Spatial integrals, averages, and paired conservation checks.
+
+"Spatial integral and averaging facilities that include paired
+integrals and averages for use in conservation of global flux integrals
+in inter-grid interpolation."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MCTError
+from repro.mct.attrvect import AttrVect
+from repro.simmpi.communicator import Communicator
+
+
+def _check(av: AttrVect, weights: np.ndarray) -> np.ndarray:
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (av.lsize,):
+        raise MCTError(
+            f"weights shape {w.shape} != AttrVect lsize {av.lsize}")
+    return w
+
+
+def global_integral(comm: Communicator, av: AttrVect,
+                    weights: np.ndarray,
+                    fields: Sequence[str] | None = None) -> dict[str, float]:
+    """Weighted global integral ∑ w·f per field (allreduce over comm)."""
+    w = _check(av, weights)
+    names = list(fields) if fields is not None else list(av.fields)
+    local = np.array([float(np.dot(w, av[name])) for name in names])
+    total = comm.allreduce(local, op="sum")
+    return dict(zip(names, np.atleast_1d(total).tolist()))
+
+
+def global_average(comm: Communicator, av: AttrVect,
+                   weights: np.ndarray,
+                   fields: Sequence[str] | None = None) -> dict[str, float]:
+    """Weighted global average per field."""
+    w = _check(av, weights)
+    integrals = global_integral(comm, av, w, fields)
+    total_w = comm.allreduce(float(w.sum()), op="sum")
+    if total_w == 0:
+        raise MCTError("total weight is zero")
+    return {name: value / total_w for name, value in integrals.items()}
+
+
+def paired_integrals(comm: Communicator,
+                     av_src: AttrVect, weights_src: np.ndarray,
+                     av_dst: AttrVect, weights_dst: np.ndarray,
+                     fields: Sequence[str] | None = None
+                     ) -> dict[str, tuple[float, float]]:
+    """Source and destination integrals of the same fields, for flux
+    conservation checks around an interpolation.
+
+    Both AttrVects must be visible from ``comm`` (the coupler's
+    communicator).  Returns ``{field: (src_integral, dst_integral)}`` —
+    conservative regridding keeps the pair equal.
+    """
+    src = global_integral(comm, av_src, weights_src, fields)
+    dst = global_integral(comm, av_dst, weights_dst, fields)
+    return {name: (src[name], dst[name]) for name in src}

@@ -1,0 +1,59 @@
+"""Merging state and flux data from multiple sources.
+
+"A facility for merging of state and flux data from multiple sources
+for use by a particular model (e.g., blending of land, ocean, and sea
+ice data for use by an atmosphere model)."
+
+Each source contributes with a per-point weight (typically a masked
+area fraction); the merge normalizes by the total weight at each point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MCTError
+from repro.mct.attrvect import AttrVect
+
+
+def merge(sources: Sequence[tuple[AttrVect, np.ndarray]],
+          *, fields: Sequence[str] | None = None) -> AttrVect:
+    """Weighted, per-point blend of several AttrVects.
+
+    Parameters
+    ----------
+    sources:
+        ``(av, weight)`` pairs over the same point set; ``weight`` is a
+        per-point non-negative array (e.g. land fraction).
+    fields:
+        Fields to merge (default: the first source's fields; every
+        source must provide them).
+
+    Points where the total weight is zero get the value 0.
+    """
+    if not sources:
+        raise MCTError("merge needs at least one source")
+    lsize = sources[0][0].lsize
+    names = list(fields) if fields is not None else list(sources[0][0].fields)
+    out = AttrVect(names, lsize)
+    total_w = np.zeros(lsize)
+    for av, w in sources:
+        w = np.asarray(w, dtype=np.float64)
+        if av.lsize != lsize or w.shape != (lsize,):
+            raise MCTError(
+                f"source sizes differ: av {av.lsize}, weight {w.shape}, "
+                f"expected {lsize}")
+        if np.any(w < 0):
+            raise MCTError("merge weights must be non-negative")
+        for name in names:
+            out[name] = out[name] + w * av[name]
+        total_w += w
+    nz = total_w > 0
+    for name in names:
+        vals = out[name]
+        vals[nz] /= total_w[nz]
+        vals[~nz] = 0.0
+        out[name] = vals
+    return out

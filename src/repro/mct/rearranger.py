@@ -1,0 +1,50 @@
+"""Rearranger: intra-model parallel data redistribution.
+
+The same schedule machinery as the :class:`~repro.mct.router.Router`,
+but both decompositions live on one model's communicator — every rank
+is (potentially) both a source and a destination.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MCTError
+from repro.mct.attrvect import AttrVect
+from repro.mct.gsmap import GlobalSegMap
+from repro.mct.router import _run_view, build_gsmap_schedule
+from repro.simmpi.communicator import Communicator
+
+REARRANGE_TAG = 161
+
+
+class Rearranger:
+    """Intra-model redistribution between two GlobalSegMaps."""
+
+    def __init__(self, src_gsmap: GlobalSegMap, dst_gsmap: GlobalSegMap):
+        if src_gsmap.nranks != dst_gsmap.nranks:
+            raise MCTError(
+                f"rearranger needs equal rank counts, got "
+                f"{src_gsmap.nranks} and {dst_gsmap.nranks}")
+        self.src_gsmap = src_gsmap
+        self.dst_gsmap = dst_gsmap
+        self.schedule = build_gsmap_schedule(src_gsmap, dst_gsmap)
+
+    def rearrange(self, comm: Communicator, av_src: AttrVect,
+                  av_dst: AttrVect, *, tag: int = REARRANGE_TAG) -> int:
+        """Collective: move ``av_src`` (src decomposition) into
+        ``av_dst`` (dst decomposition).  Returns elements received."""
+        if comm.size != self.src_gsmap.nranks:
+            raise MCTError(
+                f"communicator size {comm.size} != GlobalSegMap ranks "
+                f"{self.src_gsmap.nranks}")
+        if not av_src.same_fields(av_dst):
+            raise MCTError(
+                f"field lists differ: {av_src.fields} vs {av_dst.fields}")
+        me = comm.rank
+        for d, run in self.schedule.sends_from(me):
+            comm.send(_run_view(av_src, self.src_gsmap, me, run), d, tag)
+        received = 0
+        for s, run in self.schedule.recvs_at(me):
+            view = _run_view(av_dst, self.dst_gsmap, me, run)
+            view[:] = comm.recv(source=s, tag=tag)
+            received += run.length
+        return received

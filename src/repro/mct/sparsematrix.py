@@ -1,0 +1,190 @@
+"""Distributed sparse-matrix interpolation.
+
+"A class encapsulating distributed sparse matrix elements and
+communication schedulers used in performing interpolation as parallel
+sparse matrix-vector multiplication in a multi-field, cache-friendly
+fashion."
+
+The matrix is distributed by row (rows follow the destination
+decomposition).  A scheduler is built once per (matrix, source
+decomposition) pair: it exchanges which source points each rank needs,
+precomputes local offsets on both ends, and then every
+:meth:`SparseMatrix.apply` is a halo exchange plus one local SpMM over
+*all* fields at once.  ``fused=False`` degrades to per-field messages
+and matvecs for the E13 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import MCTError
+from repro.mct.attrvect import AttrVect
+from repro.mct.gsmap import GlobalSegMap
+from repro.simmpi.communicator import Communicator
+
+HALO_TAG = 162
+
+
+class SparseMatrix:
+    """Row-distributed sparse interpolation matrix.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Global matrix shape (destination points × source points).
+    rows, cols, vals:
+        COO triplets for the rows owned by this rank under
+        ``row_gsmap`` (global indices).
+    row_gsmap:
+        Destination decomposition; this rank's rows must be owned by
+        ``pe``.
+    pe:
+        This rank's index in the row decomposition.
+    """
+
+    def __init__(self, nrows: int, ncols: int, rows, cols, vals,
+                 row_gsmap: GlobalSegMap, pe: int):
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise MCTError("rows/cols/vals must have identical shapes")
+        if rows.size and (rows.min() < 0 or rows.max() >= nrows):
+            raise MCTError("row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= ncols):
+            raise MCTError("column index out of range")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.row_gsmap = row_gsmap
+        self.pe = pe
+
+        my_rows = row_gsmap.global_indices(pe)
+        row_local = {int(g): i for i, g in enumerate(my_rows)}
+        try:
+            lrows = np.array([row_local[int(r)] for r in rows],
+                             dtype=np.int64)
+        except KeyError as exc:
+            raise MCTError(
+                f"matrix element row {exc} is not owned by pe {pe}") from None
+
+        #: distinct source points this rank's rows reference
+        self.needed_cols = np.unique(cols) if cols.size else \
+            np.empty(0, dtype=np.int64)
+        col_local = {int(c): i for i, c in enumerate(self.needed_cols)}
+        lcols = np.array([col_local[int(c)] for c in cols], dtype=np.int64)
+        self.local = sp.csr_matrix(
+            (vals, (lrows, lcols)),
+            shape=(len(my_rows), len(self.needed_cols)))
+        self.nnz_local = int(vals.size)
+
+
+@dataclass
+class _HaloPlan:
+    #: per peer rank: local x offsets to SEND (their needs from me)
+    send_offsets: list[np.ndarray]
+    #: per peer rank: rows of the assembled halo buffer to FILL on recv
+    recv_positions: list[np.ndarray]
+    halo_size: int
+
+
+class InterpolationScheduler:
+    """The communication schedule for one (matrix, source gsmap) pair.
+
+    Building it is collective (one alltoall of needs); applying it is
+    pure point-to-point.
+    """
+
+    def __init__(self, comm: Communicator, matrix: SparseMatrix,
+                 x_gsmap: GlobalSegMap):
+        if x_gsmap.gsize != matrix.ncols:
+            raise MCTError(
+                f"source gsmap size {x_gsmap.gsize} != matrix ncols "
+                f"{matrix.ncols}")
+        if x_gsmap.nranks != comm.size:
+            raise MCTError(
+                f"source gsmap ranks {x_gsmap.nranks} != comm size "
+                f"{comm.size}")
+        self.matrix = matrix
+        self.x_gsmap = x_gsmap
+        me = comm.rank
+
+        # Which owner holds each needed source point?
+        needs_by_owner: list[list[int]] = [[] for _ in range(comm.size)]
+        positions_by_owner: list[list[int]] = [[] for _ in range(comm.size)]
+        for pos, c in enumerate(matrix.needed_cols):
+            owner = x_gsmap.owner_of(int(c))
+            needs_by_owner[owner].append(int(c))
+            positions_by_owner[owner].append(pos)
+
+        # One alltoall tells every owner what to serve.
+        serves = comm.alltoall(needs_by_owner)
+
+        send_offsets = []
+        for r, cols in enumerate(serves):
+            send_offsets.append(np.array(
+                [x_gsmap.local_offset(me, c) for c in cols],
+                dtype=np.int64))
+        recv_positions = [np.array(p, dtype=np.int64)
+                          for p in positions_by_owner]
+        self.plan = _HaloPlan(send_offsets, recv_positions,
+                              len(matrix.needed_cols))
+
+    def apply(self, comm: Communicator, x_av: AttrVect,
+              y_av: AttrVect | None = None, *,
+              fused: bool = True, tag: int = HALO_TAG) -> AttrVect:
+        """y = A·x over every field; collective over ``comm``.
+
+        ``x_av`` follows the source decomposition; the result follows
+        the matrix's row decomposition.  Pass ``y_av`` to reuse storage.
+        """
+        matrix = self.matrix
+        me = comm.rank
+        if x_av.lsize != self.x_gsmap.local_size(me):
+            raise MCTError(
+                f"x AttrVect lsize {x_av.lsize} != source local size "
+                f"{self.x_gsmap.local_size(me)}")
+        nfields = x_av.nfields
+        if y_av is None:
+            y_av = AttrVect(x_av.fields, matrix.local.shape[0])
+        elif y_av.lsize != matrix.local.shape[0] or \
+                not y_av.same_fields(x_av):
+            raise MCTError("y AttrVect does not match matrix rows/fields")
+
+        # Halo exchange: serve peers' needs, then assemble my halo.
+        plan = self.plan
+        halo = np.empty((plan.halo_size, nfields), dtype=np.float64)
+        for r in range(comm.size):
+            offs = plan.send_offsets[r]
+            if r == me or offs.size == 0:
+                continue
+            block = x_av.data[offs, :]
+            if fused:
+                comm.send(block, r, tag)
+            else:
+                for k in range(nfields):
+                    comm.send(block[:, k].copy(), r, tag)
+        own = plan.recv_positions[me]
+        if own.size:
+            halo[own, :] = x_av.data[plan.send_offsets[me], :]
+        for r in range(comm.size):
+            pos = plan.recv_positions[r]
+            if r == me or pos.size == 0:
+                continue
+            if fused:
+                halo[pos, :] = comm.recv(source=r, tag=tag)
+            else:
+                for k in range(nfields):
+                    halo[pos, k] = comm.recv(source=r, tag=tag)
+
+        # One SpMM covers every field when fused (cache-friendly);
+        # otherwise one SpMV per field.
+        if fused:
+            y_av.data[:] = matrix.local @ halo
+        else:
+            for k in range(nfields):
+                y_av.data[:, k] = matrix.local @ halo[:, k]
+        return y_av

@@ -1,0 +1,25 @@
+"""The generalized M×N component (paper §4.1, Fig. 3).
+
+A unification of PAWS ("point-to-point model ... matching 'send' and
+'receive' methods") and CUMULVS ("persistent parallel data channels with
+periodic transfers"):
+
+* components **register** parallel data fields by DAD handle, with
+  allowed access modes (read / write / read-write),
+* **connections** are one-shot or persistent-periodic, built from the
+  registered descriptors — by either side or by a third party,
+* each pairwise transfer is initiated by :meth:`~MxNConnection.data_ready`
+  on the source cohort instance and completed by the matching call on
+  the destination instance: "no additional synchronization barriers are
+  required on either side".
+"""
+
+from repro.mxn.api import MxNComponent
+from repro.mxn.connection import ConnectionKind, ConnectionSpec, MxNConnection
+
+__all__ = [
+    "MxNComponent",
+    "MxNConnection",
+    "ConnectionKind",
+    "ConnectionSpec",
+]

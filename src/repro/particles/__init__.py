@@ -1,0 +1,28 @@
+"""Particle-field containers — §4.1's in-development feature, built.
+
+"To support more complex data structure decompositions, a
+'particle-based' container solution is also under development" (§4.1);
+"work on other data structures, such as sparse matrices and particle
+fields is planned" (§2.2.2).  (Distributed sparse matrices live in
+:mod:`repro.mct.sparsematrix`.)
+
+A :class:`ParticleField` stores identified particles with positions and
+named attributes in structure-of-arrays form.  Ownership follows a
+:class:`SpatialDecomposition` — a continuous domain box divided into a
+cell grid whose cells are assigned to ranks through any DAD template,
+so every distribution type (block, cyclic, explicit, ...) works for
+particles too.  :func:`migrate` restores the ownership invariant inside
+one cohort after particles move; :func:`exchange_mxn` is the M×N
+transfer for particle data between two coupled programs.
+"""
+
+from repro.particles.field import ParticleField
+from repro.particles.decomposition import SpatialDecomposition
+from repro.particles.migrate import exchange_mxn, migrate
+
+__all__ = [
+    "ParticleField",
+    "SpatialDecomposition",
+    "migrate",
+    "exchange_mxn",
+]

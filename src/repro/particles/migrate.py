@@ -1,0 +1,114 @@
+"""Particle migration and M×N particle exchange.
+
+:func:`migrate` restores the ownership invariant inside one cohort
+after particles move: each rank bins its particles by destination owner
+and ships them point-to-point (every pair exchanges exactly one message,
+possibly empty — the particle analogue of a redistribution schedule,
+except the "schedule" is data-dependent and recomputed from positions).
+
+:func:`exchange_mxn` is the coupled-programs version over an
+intercommunicator: the M-side partitions its particles by the N side's
+spatial decomposition and sends; every N-side rank receives one batch
+from every M-side rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.particles.decomposition import SpatialDecomposition
+from repro.particles.field import ParticleField
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.intercomm import Intercommunicator
+
+MIGRATE_TAG = 180
+MXN_TAG = 181
+
+
+def _partition(field: ParticleField, decomp: SpatialDecomposition,
+               nparts: int) -> list[ParticleField]:
+    """Split a field into per-owner subfields."""
+    if field.count == 0:
+        return [field.select(np.zeros(0, dtype=bool))
+                for _ in range(nparts)]
+    owners = decomp.owner_of(field.positions)
+    return [field.select(owners == r) for r in range(nparts)]
+
+
+def _pack(field: ParticleField) -> tuple:
+    return (field.ids, field.positions,
+            {k: v for k, v in field.attributes.items()})
+
+
+def _unpack(blob: tuple) -> ParticleField:
+    ids, positions, attrs = blob
+    return ParticleField(ids, positions, attrs)
+
+
+def migrate(comm: Communicator, field: ParticleField,
+            decomp: SpatialDecomposition) -> ParticleField:
+    """Return this rank's particles after restoring ownership.
+
+    Collective over ``comm`` (which must match the decomposition's rank
+    count).  Particles outside the domain box are clamped to boundary
+    cells — nothing is lost.
+    """
+    if comm.size != decomp.nranks:
+        raise DistributionError(
+            f"communicator size {comm.size} != decomposition ranks "
+            f"{decomp.nranks}")
+    me = comm.rank
+    parts = _partition(field, decomp, comm.size)
+    for r in range(comm.size):
+        if r != me:
+            comm.send(_pack(parts[r]), r, MIGRATE_TAG)
+    incoming = [parts[me]]
+    for r in range(comm.size):
+        if r != me:
+            incoming.append(_unpack(comm.recv(source=r, tag=MIGRATE_TAG)))
+    return ParticleField.concatenate(incoming)
+
+
+def exchange_mxn(inter: Intercommunicator, side: str,
+                 field: ParticleField | None = None,
+                 decomp: SpatialDecomposition | None = None,
+                 *, ndim: int | None = None,
+                 attribute_shapes: dict | None = None
+                 ) -> ParticleField | None:
+    """M×N particle transfer between two coupled programs.
+
+    Source side: pass ``field`` plus the *destination* decomposition
+    (``decomp``); every source rank sends one batch to every destination
+    rank.  Destination side: pass ``decomp`` (its own) and the field
+    metadata (``ndim``, ``attribute_shapes``); returns the received
+    particles, guaranteed locally owned.
+    """
+    if side == "src":
+        if field is None or decomp is None:
+            raise DistributionError(
+                "source side needs both field and the destination "
+                "decomposition")
+        if decomp.nranks != inter.remote_size:
+            raise DistributionError(
+                f"destination decomposition has {decomp.nranks} ranks, "
+                f"remote size is {inter.remote_size}")
+        parts = _partition(field, decomp, inter.remote_size)
+        for r, part in enumerate(parts):
+            inter.send(_pack(part), dest=r, tag=MXN_TAG)
+        return None
+    if side == "dst":
+        if decomp is None or ndim is None:
+            raise DistributionError(
+                "destination side needs its decomposition and ndim")
+        batches = [ParticleField.empty(ndim, attribute_shapes)]
+        for r in range(inter.remote_size):
+            batches.append(_unpack(inter.recv(source=r, tag=MXN_TAG)))
+        merged = ParticleField.concatenate(batches)
+        if merged.count:
+            owners = decomp.owner_of(merged.positions)
+            if not np.all(owners == inter.rank):
+                raise DistributionError(
+                    "received particles not owned by this rank")
+        return merged
+    raise ValueError(f"side must be 'src' or 'dst', got {side!r}")

@@ -1,0 +1,31 @@
+"""Parallel Remote Method Invocation (paper §2.4, §4.2).
+
+"Supporting PRMI is a problem unique to the CCA.  Commercial component
+systems support only serial RMI ..."  This package implements the
+SCIRun2-flavoured PRMI model:
+
+* **collective** invocations: all M caller ranks call together, all N
+  callee ranks service together, with *ghost invocations and return
+  values* bridging M ≠ N (§4.2),
+* **independent** invocations: one caller rank to one callee rank,
+* **one-way** methods: the caller continues immediately, no return
+  value (§2.4, adopted from CORBA),
+* **simple** arguments (same value on every caller, optionally
+  verified) and **parallel** arguments (distributed arrays pulled
+  across with an M×N schedule, with both callee-layout strategies the
+  paper describes: pre-registered layout and delayed transfer).
+
+The DCA variant (subset participation via communicators, barrier-before-
+delivery, alltoall-style parallel data) lives in :mod:`repro.dca`.
+"""
+
+from repro.prmi.args import LazyParallelArg, ParallelArg
+from repro.prmi.endpoint import CalleeEndpoint, CallerEndpoint, InvocationStats
+
+__all__ = [
+    "ParallelArg",
+    "LazyParallelArg",
+    "CallerEndpoint",
+    "CalleeEndpoint",
+    "InvocationStats",
+]

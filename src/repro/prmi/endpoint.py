@@ -1,0 +1,466 @@
+"""PRMI caller/callee endpoints — the SCIRun2 invocation model (§4.2).
+
+Collective calls pair M caller ranks with N callee ranks:
+
+* callee rank ``n`` is invoked by caller rank ``n % M`` — callers with
+  several such callees create *ghost invocations*;
+* caller rank ``m`` receives its return from callee rank ``m % N`` —
+  callees serving several such callers create *ghost return values*;
+* when M > N a callee receives several (merged) invocations whose
+  arguments must agree — "argument and return value data is assumed to
+  be the same across the processes of a component".
+
+Parallel arguments are *pulled*: the invocation ships only descriptor
+metadata; the callee announces its desired layout (pre-registered, or
+lazily from inside the method body — the paper's two strategies), both
+cohorts build the same M×N schedule from the descriptor pair, and the
+data moves as schedule point-to-point messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    ParticipationError,
+    PRMIError,
+    SimpleArgumentMismatch,
+)
+from repro.cca.sidl import MethodSpec, PortType
+from repro.dad.darray import DistributedArray
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.prmi.args import LazyParallelArg, ParallelArg
+from repro.schedule.builder import build_region_schedule
+from repro.schedule.executor import execute_inter
+from repro.simmpi.communicator import Communicator
+from repro.simmpi.intercomm import Intercommunicator
+
+INVOKE_TAG = 100
+RETURN_TAG = 101
+PULL_TAG = 102
+DATA_TAG = 103
+IND_TAG = 104
+IND_RETURN_TAG = 105
+SUBSET_TAG = 106
+
+
+@dataclass
+class InvocationStats:
+    """Bookkeeping for experiments E10/E11."""
+
+    calls: int = 0
+    ghost_invocations: int = 0
+    ghost_returns: int = 0
+    merged_invocations: int = 0
+    simple_checks: int = 0
+
+
+def _args_equal(a: Any, b: Any) -> bool:
+    """Structural equality that tolerates NumPy values."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.shape == b.shape and bool(np.array_equal(a, b)))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(_args_equal(a[k], b[k]) for k in a))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return (len(a) == len(b)
+                and all(_args_equal(x, y) for x, y in zip(a, b)))
+    return bool(a == b)
+
+
+def _package_result(spec: MethodSpec, result: Any) -> Any:
+    """Validate and normalize a callee implementation's result against
+    the method's out-parameter declaration.
+
+    Methods with ``out``/``inout`` parameters must return a dict holding
+    one key per out parameter, plus ``"return"`` when the method also
+    declares a return value.  Plain methods pass through unchanged.
+    """
+    out_names = [p.name for p in spec.out_params]
+    if not out_names:
+        return result
+    if any(p.kind == "parallel" for p in spec.out_params):
+        raise PRMIError(
+            f"method {spec.name!r}: parallel out parameters are not "
+            f"supported; return results through an M×N connection")
+    expected = set(out_names) | ({"return"} if spec.returns else set())
+    if not isinstance(result, dict) or set(result) != expected:
+        raise PRMIError(
+            f"method {spec.name!r} declares out parameters "
+            f"{out_names}; the implementation must return a dict with "
+            f"keys {sorted(expected)}, got {result!r}")
+    return result
+
+
+class CallerEndpoint:
+    """The uses side of a parallel remote port."""
+
+    def __init__(self, local_comm: Communicator, inter: Intercommunicator,
+                 port_type: PortType, *, verify_simple: bool = False,
+                 _subset: list[int] | None = None,
+                 _participation_comm: Communicator | None = None):
+        self.local_comm = local_comm
+        self.inter = inter
+        self.port_type = port_type
+        #: Check the CCA convention that simple arguments match across
+        #: callers.  Off by default — the paper notes frameworks "may not
+        #: actively enforce this policy because checking ... might incur
+        #: in a performance penalty".
+        self.verify_simple = verify_simple
+        self.stats = InvocationStats()
+        #: When set, only these cohort ranks participate in collective
+        #: calls (SCIRun2's sub-setting mechanism, §4.2); positions in
+        #: the list define the effective caller ranks.
+        self._subset = list(_subset) if _subset is not None else None
+        #: Communicator over the participants (for pull broadcasts and
+        #: simple-arg verification); the full cohort when no subset.
+        self._pcomm = (_participation_comm if _participation_comm
+                       is not None else local_comm)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        return (len(self._subset) if self._subset is not None
+                else self.local_comm.size)
+
+    @property
+    def n(self) -> int:
+        return self.inter.remote_size
+
+    @property
+    def caller_rank(self) -> int | None:
+        """This rank's effective position among the participating
+        callers (None when subset out)."""
+        if self._subset is None:
+            return self.local_comm.rank
+        try:
+            return self._subset.index(self.local_comm.rank)
+        except ValueError:
+            return None
+
+    # -- SCIRun2 sub-setting (§4.2) --------------------------------------------
+
+    def engage_subset(self, ranks: list[int]) -> "CallerEndpoint":
+        """"If the needs of a component change at run-time and the
+        choice of processes participating in a call needs to be
+        modified, then a sub-setting mechanism is engaged."
+
+        Collective over the *full* cohort.  Announces the new
+        participant set to the callee cohort (which must call
+        :meth:`CalleeEndpoint.accept_subset`) and returns a new endpoint
+        on which only ``ranks`` make collective calls.  Ranks outside
+        the subset receive the endpoint too, but their :meth:`invoke`
+        is a no-op returning None.
+        """
+        ranks = sorted(set(int(r) for r in ranks))
+        if not ranks or ranks[0] < 0 or ranks[-1] >= self.local_comm.size:
+            raise PRMIError(f"invalid subset {ranks} for cohort of "
+                            f"{self.local_comm.size}")
+        if self.local_comm.rank == 0:
+            for callee in range(self.n):
+                self.inter.send(("subset", ranks),
+                                dest=callee, tag=SUBSET_TAG)
+        pcomm = self.local_comm.create_subcomm(ranks)
+        self.local_comm.barrier()
+        return CallerEndpoint(self.local_comm, self.inter, self.port_type,
+                              verify_simple=self.verify_simple,
+                              _subset=ranks, _participation_comm=pcomm)
+
+    def _split_args(self, spec: MethodSpec, kwargs: dict) -> tuple[dict, dict]:
+        declared = {p.name for p in spec.in_params}
+        if set(kwargs) != declared:
+            raise PRMIError(
+                f"method {spec.name!r} expects arguments {sorted(declared)}, "
+                f"got {sorted(kwargs)}")
+        simple, parallel = {}, {}
+        for p in spec.in_params:
+            value = kwargs[p.name]
+            if p.kind == "parallel":
+                if not isinstance(value, ParallelArg):
+                    raise PRMIError(
+                        f"argument {p.name!r} is declared parallel; wrap it "
+                        f"in ParallelArg")
+                parallel[p.name] = value
+            else:
+                if isinstance(value, ParallelArg):
+                    raise PRMIError(
+                        f"argument {p.name!r} is declared simple but got a "
+                        f"ParallelArg")
+                simple[p.name] = value
+        return simple, parallel
+
+    def _check_simple_consistency(self, simple: dict) -> None:
+        self.stats.simple_checks += 1
+        gathered = self._pcomm.allgather(simple)
+        for other in gathered:
+            if not _args_equal(other, simple):
+                raise SimpleArgumentMismatch(
+                    f"simple arguments differ across callers: "
+                    f"{other!r} vs {simple!r}")
+
+    # -- collective invocation ------------------------------------------------
+
+    def invoke(self, method: str, **kwargs: Any) -> Any:
+        """Collective call: every caller rank must invoke this together.
+
+        Returns the callee's return value (every caller gets one);
+        one-way methods return ``None`` immediately.
+        """
+        spec = self.port_type.method(method)
+        if spec.invocation != "collective":
+            raise PRMIError(
+                f"method {method!r} is declared independent; use "
+                f"invoke_independent")
+        me = self.caller_rank
+        if me is None:
+            # Subset out: this cohort rank sits the call out entirely.
+            return None
+        simple, parallel = self._split_args(spec, kwargs)
+        if self.verify_simple and simple:
+            self._check_simple_consistency(simple)
+
+        self.stats.calls += 1
+        pull_root = (self._subset[0] if self._subset is not None else 0)
+        parallel_meta = {name: arg.descriptor
+                         for name, arg in parallel.items()}
+        my_callees = [nn for nn in range(self.n) if nn % self.m == me] \
+            if self.n >= self.m else [me % self.n]
+        for callee in my_callees:
+            self.inter.send((method, simple, parallel_meta, pull_root),
+                            dest=callee, tag=INVOKE_TAG)
+        self.stats.ghost_invocations += max(0, len(my_callees) - 1)
+
+        # Serve the callee's pulls, one per parallel in-param, in
+        # declared order.
+        for p in spec.in_params:
+            if p.kind != "parallel":
+                continue
+            if me == 0:
+                layout = self.inter.recv(source=0, tag=PULL_TAG)
+            else:
+                layout = None
+            layout = self._pcomm.bcast(layout, root=0)
+            arg = parallel[p.name]
+            sched = build_region_schedule(arg.descriptor, layout)
+            execute_inter(sched, self.inter, "src", arg.darray,
+                          tag=DATA_TAG, rank=me)
+
+        if spec.oneway:
+            return None
+        return self.inter.recv(source=me % self.n, tag=RETURN_TAG)
+
+    # -- independent invocation -------------------------------------------------
+
+    def invoke_independent(self, method: str, callee_rank: int,
+                           **kwargs: Any) -> Any:
+        """One-to-one non-collective invocation (Damevski's second kind)."""
+        spec = self.port_type.method(method)
+        if spec.invocation != "independent":
+            raise PRMIError(
+                f"method {method!r} is declared collective; use invoke")
+        if spec.parallel_params:
+            raise PRMIError(
+                "independent invocations cannot carry parallel arguments")
+        declared = {p.name for p in spec.in_params}
+        if set(kwargs) != declared:
+            raise PRMIError(
+                f"method {method!r} expects arguments {sorted(declared)}, "
+                f"got {sorted(kwargs)}")
+        self.stats.calls += 1
+        self.inter.send((method, kwargs), dest=callee_rank, tag=IND_TAG)
+        if spec.oneway:
+            return None
+        return self.inter.recv(source=callee_rank, tag=IND_RETURN_TAG)
+
+
+class InvocationContext:
+    """Handed to callee implementations that take lazy parallel args."""
+
+    def __init__(self, callee: "CalleeEndpoint", spec: MethodSpec):
+        self._callee = callee
+        self._spec = spec
+        self._order = [p.name for p in spec.in_params if p.kind == "parallel"]
+        self._next = 0
+
+    def expect_next(self, name: str) -> None:
+        if self._next >= len(self._order) or self._order[self._next] != name:
+            raise PRMIError(
+                f"parallel arguments must be materialized in declared "
+                f"order {self._order}; got {name!r} at position {self._next}")
+        self._next += 1
+
+    @property
+    def all_materialized(self) -> bool:
+        return self._next == len(self._order)
+
+
+class CalleeEndpoint:
+    """The provides side of a parallel remote port."""
+
+    def __init__(self, local_comm: Communicator, inter: Intercommunicator,
+                 port_type: PortType, impl: Any,
+                 *, verify_simple: bool = False):
+        self.local_comm = local_comm
+        self.inter = inter
+        self.port_type = port_type
+        self.impl = impl
+        self.verify_simple = verify_simple
+        self.stats = InvocationStats()
+        #: Pre-registered layouts: (method, param) -> descriptor
+        #: (the paper's first strategy: "specify the layout using a
+        #: special framework service before the call is received").
+        self._layouts: dict[tuple[str, str], DistArrayDescriptor] = {}
+        #: Effective caller rank -> actual remote rank; identity until a
+        #: subset is engaged (§4.2 sub-setting).
+        self._caller_map: list[int] | None = None
+        #: Pull announcements go to this remote rank (the effective
+        #: rank-0 caller); updated per invocation.
+        self._pull_root = 0
+
+    @property
+    def n(self) -> int:
+        return self.local_comm.size
+
+    @property
+    def m(self) -> int:
+        return (len(self._caller_map) if self._caller_map is not None
+                else self.inter.remote_size)
+
+    def _actual_caller(self, effective: int) -> int:
+        if self._caller_map is None:
+            return effective
+        return self._caller_map[effective]
+
+    def accept_subset(self) -> list[int]:
+        """Complete the caller side's :meth:`CallerEndpoint.engage_subset`.
+
+        Every callee rank must call this; returns the new participant
+        list (actual caller cohort ranks)."""
+        kind, ranks = self.inter.recv(source=0, tag=SUBSET_TAG)
+        if kind != "subset":  # pragma: no cover - protocol guard
+            raise PRMIError(f"expected subset announcement, got {kind!r}")
+        self._caller_map = list(ranks)
+        return self._caller_map
+
+    def set_param_layout(self, method: str, param: str,
+                         layout: DistArrayDescriptor) -> None:
+        """Register the desired layout of a parallel parameter ahead of
+        invocation time."""
+        spec = self.port_type.method(method)
+        if param not in {p.name for p in spec.parallel_params}:
+            raise PRMIError(
+                f"method {method!r} has no parallel parameter {param!r}")
+        self._layouts[(method, param)] = layout
+
+    # -- data pull --------------------------------------------------------------
+
+    def _pull(self, src_descriptor: DistArrayDescriptor,
+              layout: DistArrayDescriptor) -> DistributedArray:
+        """Collective over the callee cohort: announce ``layout`` to the
+        callers and receive the redistributed data."""
+        if self.local_comm.rank == 0:
+            self.inter.send(layout, dest=self._pull_root, tag=PULL_TAG)
+        dst = DistributedArray.allocate(layout, self.local_comm.rank)
+        sched = build_region_schedule(src_descriptor, layout)
+        execute_inter(sched, self.inter, "dst", dst, tag=DATA_TAG,
+                      peer_map=self._caller_map)
+        return dst
+
+    # -- collective servicing ------------------------------------------------------
+
+    def _expected_callers(self) -> list[int]:
+        """Caller ranks whose invocation fragments this rank merges.
+
+        Participation is static (the SCIRun2/Damevski model), so the
+        sources are known a priori; receiving from them specifically —
+        rather than ANY_SOURCE — keeps per-source FIFO pairing intact
+        when a fast caller's next call overtakes a slow caller's
+        current one (e.g. after a one-way method).
+        """
+        me = self.local_comm.rank
+        if self.n >= self.m:
+            effective = [me % self.m]
+        else:
+            effective = [mm for mm in range(self.m) if mm % self.n == me]
+        return [self._actual_caller(mm) for mm in effective]
+
+    def serve_one(self) -> str:
+        """Service exactly one collective invocation.
+
+        Every callee rank must call this together.  Returns the method
+        name serviced (useful for serve loops and tests).
+        """
+        me = self.local_comm.rank
+        callers = self._expected_callers()
+        expected = len(callers)
+        invocations = [self.inter.recv(source=mm, tag=INVOKE_TAG)
+                       for mm in callers]
+        method, simple, parallel_meta, pull_root = invocations[0]
+        self._pull_root = pull_root
+        for other_method, other_simple, _, _ in invocations[1:]:
+            if other_method != method:
+                raise ParticipationError(
+                    f"callee rank {me} received merged invocations of "
+                    f"different methods: {method!r} vs {other_method!r}")
+            if self.verify_simple and not _args_equal(other_simple, simple):
+                raise SimpleArgumentMismatch(
+                    f"merged invocations disagree on simple args: "
+                    f"{simple!r} vs {other_simple!r}")
+        self.stats.calls += 1
+        self.stats.merged_invocations += expected - 1
+        spec = self.port_type.method(method)
+
+        ctx = InvocationContext(self, spec)
+        call_kwargs: dict[str, Any] = dict(simple)
+        for p in spec.in_params:
+            if p.kind != "parallel":
+                continue
+            src_desc = parallel_meta[p.name]
+            registered = self._layouts.get((method, p.name))
+            if registered is not None:
+                # Strategy 1: layout known up front; pull eagerly.
+                ctx.expect_next(p.name)
+                call_kwargs[p.name] = self._pull(src_desc, registered)
+            else:
+                # Strategy 2: hand the method a reference; the transfer
+                # happens when it specifies the layout.
+                def make_pull(name=p.name, src=src_desc):
+                    def pull(layout: DistArrayDescriptor) -> DistributedArray:
+                        ctx.expect_next(name)
+                        return self._pull(src, layout)
+                    return pull
+                call_kwargs[p.name] = LazyParallelArg(p.name, make_pull())
+
+        result = getattr(self.impl, method)(**call_kwargs)
+        result = _package_result(spec, result)
+
+        if not ctx.all_materialized:
+            raise PRMIError(
+                f"method {method!r} returned without materializing every "
+                f"parallel argument; the callers are still waiting to send")
+
+        if not spec.oneway:
+            return_to = [mm for mm in range(self.m) if mm % self.n == me]
+            for caller in return_to:
+                self.inter.send(result, dest=self._actual_caller(caller),
+                                tag=RETURN_TAG)
+            self.stats.ghost_returns += max(0, len(return_to) - 1)
+        return method
+
+    # -- independent servicing -------------------------------------------------------
+
+    def serve_independent(self) -> str:
+        """Service one independent (one-to-one) invocation on this rank."""
+        (method, kwargs), status = self.inter.recv(
+            tag=IND_TAG, return_status=True)
+        spec = self.port_type.method(method)
+        self.stats.calls += 1
+        result = _package_result(spec, getattr(self.impl, method)(**kwargs))
+        if not spec.oneway:
+            self.inter.send(result, dest=status.source, tag=IND_RETURN_TAG)
+        return method

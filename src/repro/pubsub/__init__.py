@@ -1,0 +1,32 @@
+"""Publish/subscribe M×N coupling — the XChangemxn model (paper §5).
+
+"XChangemxn is a middleware infrastructure for coupling components in
+distributed applications.  XChangemxn uses the publish/subscribe
+paradigm to link interacting components, and deal[s] specifically with
+dynamic behaviors, such as dynamic arrivals and departures of
+components and the transformation of data 'in-flight' to match end
+point requirements."
+
+The model implemented here:
+
+* a :class:`SubscriptionBoard` (the registry service) records live
+  subscriptions; publishers poll it, so subscribers can **arrive and
+  depart between any two publishes** without the publisher's
+  cooperation being coded in advance;
+* each subscription carries the subscriber's desired layout *and an
+  optional in-flight filter* (any :class:`repro.pipeline.Filter`): the
+  publisher redistributes AND transforms per subscriber — "to match end
+  point requirements";
+* departure is graceful: the publisher closes the channel with a final
+  control message, so a departing subscriber never blocks.
+"""
+
+from repro.pubsub.board import Subscription, SubscriptionBoard
+from repro.pubsub.endpoints import Publisher, Subscriber
+
+__all__ = [
+    "SubscriptionBoard",
+    "Subscription",
+    "Publisher",
+    "Subscriber",
+]

@@ -1,0 +1,84 @@
+"""The subscription registry ("the XChange registry service").
+
+Thread-safe shared state between publisher and subscriber jobs: who is
+subscribed to which topic, with what layout and in-flight filter.  The
+board carries only *control* information — data still flows directly
+between the coupled programs over intercommunicators.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field as dc_field
+from typing import Optional
+
+from repro.errors import ConnectionError_
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.pipeline.filters import Filter
+
+
+@dataclass
+class Subscription:
+    """One subscriber's standing request on a topic."""
+
+    topic: str
+    sub_id: int
+    layout: DistArrayDescriptor
+    #: Optional elementwise transformation applied in flight.
+    transform: Optional[Filter] = None
+    #: Service name the data channel rendezvouses on.
+    service: str = dc_field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.service:
+            self.service = f"pubsub/{self.topic}/{self.sub_id}"
+
+
+class SubscriptionBoard:
+    """Registry of live subscriptions, polled by publishers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_id = itertools.count(1)
+        #: topic -> {sub_id: Subscription}
+        self._subs: dict[str, dict[int, Subscription]] = {}
+        #: (topic, sub_id) pairs flagged for departure
+        self._leaving: set[tuple[str, int]] = set()
+
+    # -- subscriber side -------------------------------------------------
+
+    def subscribe(self, topic: str, layout: DistArrayDescriptor,
+                  transform: Filter | None = None) -> Subscription:
+        with self._lock:
+            sub = Subscription(topic, next(self._next_id), layout,
+                               transform)
+            self._subs.setdefault(topic, {})[sub.sub_id] = sub
+            return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Flag the subscription for graceful departure; the publisher
+        completes the handshake at its next publish."""
+        with self._lock:
+            if sub.sub_id not in self._subs.get(sub.topic, {}):
+                raise ConnectionError_(
+                    f"subscription {sub.sub_id} on {sub.topic!r} unknown")
+            self._leaving.add((sub.topic, sub.sub_id))
+
+    # -- publisher side -----------------------------------------------------
+
+    def active(self, topic: str) -> list[Subscription]:
+        """Current subscriptions, including ones flagged as leaving (the
+        publisher must still close them)."""
+        with self._lock:
+            return list(self._subs.get(topic, {}).values())
+
+    def is_leaving(self, sub: Subscription) -> bool:
+        with self._lock:
+            return (sub.topic, sub.sub_id) in self._leaving
+
+    def remove(self, sub: Subscription) -> None:
+        """Publisher-side cleanup after closing a departed channel."""
+        with self._lock:
+            self._subs.get(sub.topic, {}).pop(sub.sub_id, None)
+            self._leaving.discard((sub.topic, sub.sub_id))

@@ -1,0 +1,19 @@
+"""Roccom-style windows — the integration-framework model (paper §5).
+
+"Roccom is an object-oriented software framework for high performance
+parallel rocket simulation.  Roccom enables coupling of multiple
+physics modules, each of which models various parts of the overall
+problem ...  A physics module builds distributed objects (data and
+functions) called windows and registers them in Roccom so that other
+modules can share them with the permission of the owner module."
+
+The model: a :class:`Window` bundles named distributed data *panes*
+(per-rank :class:`~repro.dad.DistributedArray` pieces) and callable
+*functions*; the :class:`Roccom` registry enforces owner-granted
+permissions (read / write / call) before any other module touches a
+window.
+"""
+
+from repro.roccom.windows import Access, Roccom, Window, WindowHandle
+
+__all__ = ["Roccom", "Window", "WindowHandle", "Access"]

@@ -1,0 +1,190 @@
+"""Windows: distributed data + functions, shared by owner permission."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import PermissionError_, WindowError
+from repro.dad.darray import DistributedArray
+
+
+class Access(enum.Flag):
+    """What a grant lets another module do with a window."""
+
+    READ = enum.auto()    #: read data panes
+    WRITE = enum.auto()   #: update data panes
+    CALL = enum.auto()    #: invoke registered functions
+    FULL = READ | WRITE | CALL
+
+
+class Window:
+    """One module's distributed object: data panes plus functions.
+
+    A *pane* is one named distributed field (this rank's piece).  A
+    *function* is a callable the owner exposes to other modules.
+    """
+
+    def __init__(self, name: str, owner: str):
+        self.name = name
+        self.owner = owner
+        self._panes: dict[str, DistributedArray] = {}
+        self._functions: dict[str, Callable[..., Any]] = {}
+
+    # -- construction (owner side) -----------------------------------------
+
+    def add_pane(self, field: str, darray: DistributedArray) -> None:
+        if field in self._panes:
+            raise WindowError(
+                f"window {self.name!r} already has pane {field!r}")
+        self._panes[field] = darray
+
+    def add_function(self, fn_name: str, fn: Callable[..., Any]) -> None:
+        if fn_name in self._functions:
+            raise WindowError(
+                f"window {self.name!r} already has function {fn_name!r}")
+        self._functions[fn_name] = fn
+
+    # -- internal accessors --------------------------------------------------
+
+    def pane(self, field: str) -> DistributedArray:
+        try:
+            return self._panes[field]
+        except KeyError:
+            raise WindowError(
+                f"window {self.name!r} has no pane {field!r}; have "
+                f"{sorted(self._panes)}") from None
+
+    def function(self, fn_name: str) -> Callable[..., Any]:
+        try:
+            return self._functions[fn_name]
+        except KeyError:
+            raise WindowError(
+                f"window {self.name!r} has no function {fn_name!r}") \
+                from None
+
+    def pane_names(self) -> list[str]:
+        return sorted(self._panes)
+
+    def function_names(self) -> list[str]:
+        return sorted(self._functions)
+
+
+class WindowHandle:
+    """What a non-owner module gets: the window filtered by its grant."""
+
+    def __init__(self, window: Window, module: str, access: Access):
+        self._window = window
+        self._module = module
+        self._access = access
+
+    def _require(self, needed: Access, what: str) -> None:
+        if not (self._access & needed):
+            raise PermissionError_(
+                f"module {self._module!r} lacks {needed} on window "
+                f"{self._window.name!r} (needed to {what}); owner "
+                f"{self._window.owner!r} granted {self._access}")
+
+    def read(self, field: str) -> np.ndarray:
+        """A read-only copy of a pane's first local patch region view
+        stack (concatenated patch data)."""
+        self._require(Access.READ, f"read pane {field!r}")
+        pane = self._window.pane(field)
+        parts = [arr.copy() for _, arr in pane.iter_patches()]
+        return parts[0] if len(parts) == 1 else parts
+
+    def write(self, field: str, values) -> None:
+        """Overwrite a pane's local data."""
+        self._require(Access.WRITE, f"write pane {field!r}")
+        pane = self._window.pane(field)
+        patches = list(pane.iter_patches())
+        if len(patches) == 1:
+            region, arr = patches[0]
+            arr[...] = np.asarray(values).reshape(region.shape)
+            return
+        if not isinstance(values, (list, tuple)) or \
+                len(values) != len(patches):
+            raise WindowError(
+                f"pane {field!r} has {len(patches)} patches; pass a "
+                f"matching list of arrays")
+        for (region, arr), vals in zip(patches, values):
+            arr[...] = np.asarray(vals).reshape(region.shape)
+
+    def call(self, fn_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke one of the owner's registered functions."""
+        self._require(Access.CALL, f"call function {fn_name!r}")
+        return self._window.function(fn_name)(*args, **kwargs)
+
+    def pane_names(self) -> list[str]:
+        return self._window.pane_names()
+
+    def function_names(self) -> list[str]:
+        return self._window.function_names()
+
+
+class Roccom:
+    """The window registry: registration plus owner-granted sharing."""
+
+    def __init__(self) -> None:
+        self._windows: dict[str, Window] = {}
+        #: (window, module) -> granted access
+        self._grants: dict[tuple[str, str], Access] = {}
+
+    # -- owner operations -----------------------------------------------------
+
+    def register(self, window: Window) -> None:
+        if window.name in self._windows:
+            raise WindowError(f"window {window.name!r} already registered")
+        self._windows[window.name] = window
+
+    def unregister(self, owner: str, name: str) -> None:
+        window = self._get(name)
+        if window.owner != owner:
+            raise PermissionError_(
+                f"only owner {window.owner!r} may unregister "
+                f"{name!r}, not {owner!r}")
+        del self._windows[name]
+        self._grants = {k: v for k, v in self._grants.items()
+                        if k[0] != name}
+
+    def grant(self, owner: str, name: str, module: str,
+              access: Access) -> None:
+        """The owner shares its window: "other modules can share them
+        with the permission of the owner module"."""
+        window = self._get(name)
+        if window.owner != owner:
+            raise PermissionError_(
+                f"only owner {window.owner!r} may grant access to "
+                f"{name!r}, not {owner!r}")
+        self._grants[(name, module)] = access
+
+    def revoke(self, owner: str, name: str, module: str) -> None:
+        window = self._get(name)
+        if window.owner != owner:
+            raise PermissionError_(
+                f"only owner {window.owner!r} may revoke access to "
+                f"{name!r}")
+        self._grants.pop((name, module), None)
+
+    # -- consumer operations ------------------------------------------------------
+
+    def get_window(self, module: str, name: str) -> WindowHandle:
+        window = self._get(name)
+        if module == window.owner:
+            return WindowHandle(window, module, Access.FULL)
+        access = self._grants.get((name, module))
+        if access is None:
+            raise PermissionError_(
+                f"module {module!r} has no grant on window {name!r}")
+        return WindowHandle(window, module, access)
+
+    def window_names(self) -> list[str]:
+        return sorted(self._windows)
+
+    def _get(self, name: str) -> Window:
+        try:
+            return self._windows[name]
+        except KeyError:
+            raise WindowError(f"no window {name!r} registered") from None

@@ -1,0 +1,49 @@
+"""Communication schedules (paper §2.3).
+
+"A communication schedule for distributed arrays specifies the
+destination process of each of the data elements in the source array and
+their locations in the destination processes.  This schedule is computed
+prior to the transfer operation, and can be reused in consecutive
+transfers, and even for different arrays as long as they conform to the
+same distribution template."
+
+Two schedule families are provided:
+
+* region schedules (:func:`build_region_schedule`) computed from DAD
+  pairs — the CUMULVS/PAWS/InterComm approach, with a fast path for
+  pure block templates, and
+* linear schedules (:func:`build_linear_schedule`) computed from
+  linearization pairs — the Meta-Chaos approach, which also couples
+  non-array structures.
+
+Schedules are plain data; :mod:`repro.schedule.executor` moves the bytes
+over an intra- or inter-communicator using buffered point-to-point
+sends, so "actual transfers can be carried out fully in parallel".
+"""
+
+from repro.schedule.plan import CommSchedule, LinearSchedule, TransferItem, LinearItem
+from repro.schedule.builder import (
+    ScheduleCache,
+    build_block_schedule,
+    build_linear_schedule,
+    build_region_schedule,
+)
+from repro.schedule.executor import (
+    execute_inter,
+    execute_intra,
+    execute_linear_inter,
+)
+
+__all__ = [
+    "CommSchedule",
+    "LinearSchedule",
+    "TransferItem",
+    "LinearItem",
+    "ScheduleCache",
+    "build_region_schedule",
+    "build_block_schedule",
+    "build_linear_schedule",
+    "execute_intra",
+    "execute_inter",
+    "execute_linear_inter",
+]

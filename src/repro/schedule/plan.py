@@ -1,0 +1,171 @@
+"""Schedule data structures.
+
+A schedule is pure data — (source rank, destination rank, what-to-move)
+triples in a deterministic order — so it can be computed once, cached,
+shipped to a third party, or replayed against any array conforming to
+the same templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.dad.descriptor import DistArrayDescriptor
+from repro.linearize.linearization import Linearization, Run
+from repro.util.regions import Region, RegionList
+
+
+@dataclass(frozen=True, slots=True)
+class TransferItem:
+    """Move ``region`` (global coordinates) from src rank to dst rank."""
+
+    src: int
+    dst: int
+    region: Region
+
+
+@dataclass(frozen=True, slots=True)
+class LinearItem:
+    """Move linear interval ``run`` from src rank to dst rank."""
+
+    src: int
+    dst: int
+    run: Run
+
+
+class CommSchedule:
+    """A region-based communication schedule between two templates."""
+
+    def __init__(self, items: list[TransferItem], src_nranks: int,
+                 dst_nranks: int):
+        self.items = sorted(
+            items, key=lambda it: (it.src, it.dst, it.region.lo))
+        self.src_nranks = src_nranks
+        self.dst_nranks = dst_nranks
+
+    # -- per-rank views -------------------------------------------------------
+
+    def sends_from(self, src: int) -> list[tuple[int, Region]]:
+        """(dst, region) pairs rank ``src`` must send, in wire order."""
+        return [(it.dst, it.region) for it in self.items if it.src == src]
+
+    def recvs_at(self, dst: int) -> list[tuple[int, Region]]:
+        """(src, region) pairs rank ``dst`` must receive.
+
+        Ordered by (src, region) — the same relative order per source as
+        :meth:`sends_from` produces, so FIFO matching lines up.
+        """
+        return sorted(
+            ((it.src, it.region) for it in self.items if it.dst == dst),
+            key=lambda t: (t[0], t[1].lo))
+
+    # -- metrics -----------------------------------------------------------------
+
+    @property
+    def message_count(self) -> int:
+        return len(self.items)
+
+    @property
+    def element_count(self) -> int:
+        return sum(it.region.volume for it in self.items)
+
+    def nbytes(self, dtype: np.dtype | str = np.float64) -> int:
+        return self.element_count * np.dtype(dtype).itemsize
+
+    def entries(self) -> int:
+        """Bookkeeping size of the schedule itself."""
+        ndim = self.items[0].region.ndim if self.items else 0
+        return len(self.items) * (2 + 2 * ndim)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self, src_desc: DistArrayDescriptor,
+                 dst_desc: DistArrayDescriptor) -> None:
+        """Check schedule completeness and consistency:
+
+        * every item's region is owned by its src on the source side and
+          by its dst on the destination side,
+        * per destination rank, the received regions exactly tile that
+          rank's ownership (every destination element written once).
+        """
+        if src_desc.shape != dst_desc.shape:
+            raise ScheduleError(
+                f"template shapes differ: {src_desc.shape} vs {dst_desc.shape}")
+        for it in self.items:
+            if not src_desc.local_regions(it.src).intersect_region(
+                    it.region).volume == it.region.volume:
+                raise ScheduleError(
+                    f"item {it}: region not owned by source rank {it.src}")
+            if not dst_desc.local_regions(it.dst).intersect_region(
+                    it.region).volume == it.region.volume:
+                raise ScheduleError(
+                    f"item {it}: region not owned by dest rank {it.dst}")
+        for dst in range(self.dst_nranks):
+            incoming = [r for _, r in self.recvs_at(dst)]
+            owned = dst_desc.local_regions(dst)
+            got = sum(r.volume for r in incoming)
+            if got != owned.volume:
+                raise ScheduleError(
+                    f"dest rank {dst} receives {got} elements but owns "
+                    f"{owned.volume}")
+            RegionList(incoming)  # disjointness
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CommSchedule({self.message_count} messages, "
+                f"{self.element_count} elements, "
+                f"{self.src_nranks}x{self.dst_nranks})")
+
+
+class LinearSchedule:
+    """A linearization-based schedule: runs moved between rank pairs."""
+
+    def __init__(self, items: list[LinearItem], src_nranks: int,
+                 dst_nranks: int):
+        self.items = sorted(items, key=lambda it: (it.src, it.dst, it.run.lo))
+        self.src_nranks = src_nranks
+        self.dst_nranks = dst_nranks
+
+    def sends_from(self, src: int) -> list[tuple[int, Run]]:
+        return [(it.dst, it.run) for it in self.items if it.src == src]
+
+    def recvs_at(self, dst: int) -> list[tuple[int, Run]]:
+        return sorted(((it.src, it.run) for it in self.items if it.dst == dst),
+                      key=lambda t: (t[0], t[1].lo))
+
+    @property
+    def message_count(self) -> int:
+        return len(self.items)
+
+    @property
+    def element_count(self) -> int:
+        return sum(it.run.length for it in self.items)
+
+    def entries(self) -> int:
+        return len(self.items) * 4
+
+    def validate(self, src_lin: Linearization, dst_lin: Linearization) -> None:
+        """Every destination position covered exactly once by items that
+        the source side actually owns."""
+        if src_lin.total != dst_lin.total:
+            raise ScheduleError(
+                f"linear spaces differ: {src_lin.total} vs {dst_lin.total}")
+        marks = np.zeros(dst_lin.total, dtype=np.int32)
+        for it in self.items:
+            owned = any(r.intersect(it.run) is not None and
+                        r.lo <= it.run.lo and it.run.hi <= r.hi
+                        for r in src_lin.runs(it.src))
+            if not owned:
+                raise ScheduleError(
+                    f"item {it}: run not owned by source rank {it.src}")
+            marks[it.run.lo:it.run.hi] += 1
+        if not np.all(marks == 1):
+            bad = int(np.flatnonzero(marks != 1)[0])
+            raise ScheduleError(
+                f"linear position {bad} transferred {int(marks[bad])} times")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LinearSchedule({self.message_count} runs, "
+                f"{self.element_count} elements)")

@@ -1,0 +1,329 @@
+"""Intra-job communicators: tagged point-to-point plus collectives.
+
+A :class:`Communicator` spans a subset of a job's ranks.  Messages are
+matched on a per-communicator context id, so overlapping communicators
+(e.g. those produced by :meth:`Communicator.split`) never interfere —
+the property DCA relies on to scope process participation (paper §4.3).
+
+Collectives are implemented over point-to-point with internal tags.  A
+per-rank collective sequence counter keeps internal tags aligned, which
+is sound under the usual MPI rule that all ranks of a communicator call
+collectives in the same order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.simmpi import payload
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, INTERNAL_TAG_BASE
+from repro.simmpi.matching import Envelope, Mailbox
+from repro.simmpi.ops import resolve_op
+from repro.simmpi.request import Request
+from repro.simmpi.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simmpi.runner import Job
+
+# Global context-id allocator: unique across all jobs in the process so
+# intercommunicators bridging two jobs can never collide.
+_context_lock = threading.Lock()
+_next_context = 1
+
+
+def allocate_context() -> int:
+    global _next_context
+    with _context_lock:
+        cid = _next_context
+        _next_context += 1
+        return cid
+
+
+class Communicator:
+    """An ordered group of ranks with isolated message context."""
+
+    def __init__(self, job: "Job", context: int, rank: int,
+                 job_ranks: Sequence[int]):
+        self.job = job
+        self.context = context
+        self._rank = rank
+        #: communicator rank -> job rank
+        self.job_ranks = tuple(job_ranks)
+        self._coll_seq = 0
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self.job_ranks)
+
+    @property
+    def counters(self):
+        """The owning job's instrumentation counters."""
+        return self.job.counters
+
+    def _mailbox(self, comm_rank: int) -> Mailbox:
+        return self.job.mailboxes[self.job_ranks[comm_rank]]
+
+    def _check_rank(self, r: int, what: str) -> None:
+        if not (0 <= r < self.size):
+            raise CommunicatorError(
+                f"{what} rank {r} out of range for size-{self.size} communicator")
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send: copies ``obj`` and returns immediately."""
+        self._check_rank(dest, "destination")
+        data, nbytes = payload.pack(obj)
+        # Collective-internal protocol traffic is counted separately so
+        # benchmarks can report application data movement alone.
+        kind = "internal_msgs" if tag >= INTERNAL_TAG_BASE else "msgs"
+        self.job.counters.add(kind)
+        self.job.counters.add("bytes", nbytes)
+        self.job.counters.add(f"rank{self.job_ranks[dest]}.rx_bytes", nbytes)
+        self._mailbox(dest).deliver(
+            Envelope(self.context, self._rank, tag, data, nbytes))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             *, timeout: float | None = None,
+             return_status: bool = False) -> Any:
+        """Blocking receive; returns the payload (and optionally a Status)."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        env = self._mailbox(self._rank).wait_match(
+            self.context, source, tag, timeout=timeout)
+        if return_status:
+            return env.payload, Status(env.source, env.tag, env.nbytes)
+        return env.payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (completes immediately: sends are buffered)."""
+        self.send(obj, dest, tag)
+        return Request(value=None, status=None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; the match happens at ``wait`` time."""
+        def completer(timeout: float | None) -> tuple[Any, Status]:
+            env = self._mailbox(self._rank).wait_match(
+                self.context, source, tag, timeout=timeout)
+            return env.payload, Status(env.source, env.tag, env.nbytes)
+        return Request(completer)
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        """Combined send+receive (deadlock-free because sends buffer)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Non-destructive test for a matching message."""
+        env = self._mailbox(self._rank).probe(self.context, source, tag)
+        if env is None:
+            return None
+        return Status(env.source, env.tag, env.nbytes)
+
+    # -- collectives -----------------------------------------------------------
+
+    def _next_coll_tag(self) -> int:
+        self._coll_seq += 1
+        return INTERNAL_TAG_BASE + (self._coll_seq & 0xFFFFF)
+
+    def barrier(self) -> None:
+        """Central-counter barrier (gather a token at rank 0, then release)."""
+        tag = self._next_coll_tag()
+        self.job.counters.add("barriers")
+        if self.size == 1:
+            return
+        if self._rank == 0:
+            for _ in range(self.size - 1):
+                self.recv(ANY_SOURCE, tag)
+            for r in range(1, self.size):
+                self.send(None, r, tag)
+        else:
+            self.send(None, 0, tag)
+            self.recv(0, tag)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        if self.size == 1:
+            return obj
+        if self._rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(obj, r, tag)
+            return obj
+        return self.recv(root, tag)
+
+    def scatter(self, seq: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one element of ``seq`` (length ``size``, root only) to
+        each rank."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            if seq is None or len(seq) != self.size:
+                raise CommunicatorError(
+                    f"scatter at root needs a length-{self.size} sequence")
+            for r in range(self.size):
+                if r != root:
+                    self.send(seq[r], r, tag)
+            mine, _ = payload.pack(seq[root])
+            return mine
+        return self.recv(root, tag)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank to ``root`` (others return None)."""
+        self._check_rank(root, "root")
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            out: list[Any] = [None] * self.size
+            mine, _ = payload.pack(obj)
+            out[root] = mine
+            for _ in range(self.size - 1):
+                val, st = self.recv(ANY_SOURCE, tag, return_status=True)
+                out[st.source] = val
+            return out
+        self.send(obj, root, tag)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather then broadcast: every rank returns the full list."""
+        rooted = self.gather(obj, root=0)
+        return self.bcast(rooted, root=0)
+
+    def alltoall(self, seq: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all: rank i sends ``seq[j]`` to rank j."""
+        if len(seq) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs a length-{self.size} sequence per rank")
+        tag = self._next_coll_tag()
+        for r in range(self.size):
+            if r != self._rank:
+                self.send(seq[r], r, tag)
+        out: list[Any] = [None] * self.size
+        out[self._rank], _ = payload.pack(seq[self._rank])
+        for _ in range(self.size - 1):
+            val, st = self.recv(ANY_SOURCE, tag, return_status=True)
+            out[st.source] = val
+        return out
+
+    def alltoallv(self, sendbuf: np.ndarray, sendcounts: Sequence[int],
+                  sdispls: Sequence[int] | None = None,
+                  recvcounts: Sequence[int] | None = None) -> np.ndarray:
+        """MPI_Alltoallv over a 1-D NumPy buffer.
+
+        ``sendbuf[sdispls[j]:sdispls[j]+sendcounts[j]]`` goes to rank j.
+        When ``recvcounts`` is None the counts are exchanged first (an
+        extra alltoall), mirroring how DCA's stubs operate (paper §4.3).
+        Returns the concatenated received buffer, ordered by source rank.
+        """
+        sendbuf = np.asarray(sendbuf)
+        if sendbuf.ndim != 1:
+            raise CommunicatorError("alltoallv sendbuf must be 1-D")
+        if len(sendcounts) != self.size:
+            raise CommunicatorError(
+                f"alltoallv needs {self.size} sendcounts, got {len(sendcounts)}")
+        if sdispls is None:
+            sdispls = np.concatenate(([0], np.cumsum(sendcounts)[:-1])).tolist()
+        if recvcounts is None:
+            recvcounts = self.alltoall(list(sendcounts))
+        tag = self._next_coll_tag()
+        for r in range(self.size):
+            if r != self._rank:
+                chunk = sendbuf[sdispls[r]:sdispls[r] + sendcounts[r]]
+                self.send(chunk, r, tag)
+        parts: list[np.ndarray | None] = [None] * self.size
+        own = sendbuf[sdispls[self._rank]:
+                      sdispls[self._rank] + sendcounts[self._rank]]
+        parts[self._rank] = own.copy()
+        for r in range(self.size):
+            if r != self._rank:
+                parts[r] = self.recv(r, tag)
+        received = [np.asarray(p) for p in parts]
+        for r, (p, c) in enumerate(zip(received, recvcounts)):
+            if p.shape[0] != c:
+                raise CommunicatorError(
+                    f"alltoallv: expected {c} items from rank {r}, got {p.shape[0]}")
+        return np.concatenate(received) if received else sendbuf[:0].copy()
+
+    def reduce(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum",
+               root: int = 0) -> Any:
+        """Reduce values to ``root`` (others return None)."""
+        fn = resolve_op(op)
+        vals = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        assert vals is not None
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = fn(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
+        """Reduce then broadcast."""
+        res = self.reduce(obj, op=op, root=0)
+        return self.bcast(res, root=0)
+
+    def scan(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
+        """Inclusive prefix reduction: rank i returns op over ranks 0..i."""
+        fn = resolve_op(op)
+        vals = self.allgather(obj)
+        acc = vals[0]
+        for v in vals[1:self._rank + 1]:
+            acc = fn(acc, v)
+        return acc
+
+    # -- communicator construction --------------------------------------------
+
+    def dup(self) -> "Communicator":
+        """A new communicator over the same ranks with a fresh context."""
+        ctx = self.bcast(allocate_context() if self._rank == 0 else None, root=0)
+        return Communicator(self.job, ctx, self._rank, self.job_ranks)
+
+    def split(self, color: int, key: int = 0) -> "Communicator | None":
+        """MPI_Comm_split: group ranks by ``color``, order by ``key``.
+
+        ``color < 0`` means "not participating" (returns None).
+        """
+        info = self.allgather((color, key, self._rank))
+        if self._rank == 0:
+            colors = sorted({c for c, _, _ in info if c >= 0})
+            contexts = {c: allocate_context() for c in colors}
+        else:
+            contexts = None
+        contexts = self.bcast(contexts, root=0)
+        if color < 0:
+            return None
+        members = sorted(
+            ((k, r) for c, k, r in info if c == color),
+            key=lambda t: (t[0], t[1]),
+        )
+        new_ranks = [r for _, r in members]
+        my_new_rank = new_ranks.index(self._rank)
+        job_ranks = [self.job_ranks[r] for r in new_ranks]
+        return Communicator(self.job, contexts[color], my_new_rank, job_ranks)
+
+    def create_subcomm(self, ranks: Sequence[int]) -> "Communicator | None":
+        """Collective: build a communicator over ``ranks`` of this one.
+
+        Every rank of the parent must call it with the same ``ranks``;
+        ranks outside the list get None.
+        """
+        ranks = list(ranks)
+        in_group = self._rank in ranks
+        return self.split(0 if in_group else -1,
+                          key=ranks.index(self._rank) if in_group else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Communicator(rank={self._rank}/{self.size}, "
+                f"context={self.context})")

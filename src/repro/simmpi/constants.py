@@ -1,0 +1,10 @@
+"""Wildcard constants for message matching."""
+
+#: Match a message from any source rank.
+ANY_SOURCE: int = -1
+
+#: Match a message with any tag.
+ANY_TAG: int = -1
+
+#: Tags >= this value are reserved for internal collective protocols.
+INTERNAL_TAG_BASE: int = 1 << 28

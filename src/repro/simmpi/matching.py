@@ -1,0 +1,142 @@
+"""Per-rank mailboxes with MPI-style (context, source, tag) matching.
+
+Each rank of each job owns one :class:`Mailbox`.  Senders append
+:class:`Envelope` objects; receivers block until a matching envelope is
+present.  Matching is FIFO *per (context, source, tag)* — the MPI
+non-overtaking rule: two messages from the same source with matching
+tags are received in send order.
+
+Blocking receivers register what they are waiting for so the job's
+watchdog can produce a rank-state dump on deadlock, and they poll an
+abort flag so a detected deadlock raises instead of hanging forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlockError
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
+
+
+@dataclass(slots=True)
+class Envelope:
+    """One in-flight message."""
+
+    context: int
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    seq: int = 0
+
+
+class AbortFlag:
+    """Shared job-wide abort signal set by the deadlock watchdog."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str = ""
+        self.blocked_dump: dict[int, str] = {}
+
+    def set(self, reason: str, blocked: dict[int, str]) -> None:
+        self.reason = reason
+        self.blocked_dump = blocked
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+
+class Mailbox:
+    """Thread-safe message store for one rank."""
+
+    #: Seconds between abort-flag polls while blocked.
+    POLL_INTERVAL = 0.05
+
+    def __init__(self, rank: int, abort: AbortFlag,
+                 progress: Optional[Callable[[], None]] = None,
+                 block_state: Optional[Callable[[int, str | None], None]] = None):
+        self.rank = rank
+        self._abort = abort
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._messages: list[Envelope] = []
+        self._seq = 0
+        # progress(): bump the job's global progress counter (watchdog input)
+        self._progress = progress or (lambda: None)
+        # block_state(rank, desc | None): record/clear what this rank waits on
+        self._block_state = block_state or (lambda rank, desc: None)
+
+    # -- sending ----------------------------------------------------------
+
+    def deliver(self, env: Envelope) -> None:
+        """Called from the *sender's* thread: enqueue and wake receivers."""
+        with self._cond:
+            self._seq += 1
+            env.seq = self._seq
+            self._messages.append(env)
+            self._progress()
+            self._cond.notify_all()
+
+    # -- receiving --------------------------------------------------------
+
+    def _find(self, context: int, source: int, tag: int) -> Optional[int]:
+        for i, env in enumerate(self._messages):
+            if env.context != context:
+                continue
+            if source != ANY_SOURCE and env.source != source:
+                continue
+            if tag != ANY_TAG and env.tag != tag:
+                continue
+            return i
+        return None
+
+    def wait_match(self, context: int, source: int, tag: int,
+                   *, timeout: float | None = None) -> Envelope:
+        """Block until a matching envelope arrives, then remove and return it.
+
+        Raises :class:`DeadlockError` if the job's watchdog aborts, or
+        :class:`TimeoutError` if an explicit ``timeout`` expires first.
+        """
+        desc = (f"recv(context={context}, "
+                f"source={'ANY' if source == ANY_SOURCE else source}, "
+                f"tag={'ANY' if tag == ANY_TAG else tag})")
+        deadline = None if timeout is None else (
+            threading.TIMEOUT_MAX if timeout <= 0 else timeout)
+        waited = 0.0
+        self._block_state(self.rank, desc)
+        try:
+            with self._cond:
+                while True:
+                    idx = self._find(context, source, tag)
+                    if idx is not None:
+                        env = self._messages.pop(idx)
+                        self._progress()
+                        return env
+                    if self._abort.is_set():
+                        raise DeadlockError(
+                            f"rank {self.rank} aborted while blocked in {desc}: "
+                            f"{self._abort.reason}",
+                            blocked=self._abort.blocked_dump,
+                        )
+                    if deadline is not None and waited >= deadline:
+                        raise TimeoutError(
+                            f"rank {self.rank}: no match for {desc} "
+                            f"after {waited:.2f}s")
+                    self._cond.wait(self.POLL_INTERVAL)
+                    waited += self.POLL_INTERVAL
+        finally:
+            self._block_state(self.rank, None)
+
+    def probe(self, context: int, source: int, tag: int) -> Optional[Envelope]:
+        """Non-destructive match test (MPI_Iprobe analogue)."""
+        with self._lock:
+            idx = self._find(context, source, tag)
+            return self._messages[idx] if idx is not None else None
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._messages)

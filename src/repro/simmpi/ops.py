@@ -1,0 +1,68 @@
+"""Reduction operators for reduce/allreduce/scan.
+
+Operators work elementwise on NumPy arrays and directly on scalars.
+They are looked up by name so method interfaces (and serialized PRMI
+calls) can carry them as strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+
+
+def _sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _prod(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _land(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def _lor(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _sum,
+    "prod": _prod,
+    "max": _max,
+    "min": _min,
+    "land": _land,
+    "lor": _lor,
+}
+
+
+def resolve_op(op: str | Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """Turn an operator name or callable into a binary callable."""
+    if callable(op):
+        return op
+    try:
+        return OPS[op]
+    except KeyError:
+        raise CommunicatorError(
+            f"unknown reduction op {op!r}; expected one of {sorted(OPS)}"
+        ) from None

@@ -1,0 +1,47 @@
+"""Message payload handling: copy-on-send value semantics and byte counts.
+
+A real MPI transfer serializes the data onto a wire; sharing a mutable
+object between sender and receiver would hide bugs that real deployments
+hit.  NumPy arrays take the fast path (a C-level copy, mirroring mpi4py's
+buffer protocol path); everything else is pickled, which both isolates
+the object graph and yields an honest byte count.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+
+class Raw:
+    """Marker wrapper: pass the value through without copy or pickling.
+
+    Reserved for runtime-internal handles (e.g. the job references shipped
+    during an intercommunicator handshake) that are process-local by
+    design and must never cross a real wire.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def pack(obj: Any) -> tuple[Any, int]:
+    """Return an isolated copy of ``obj`` and its size in bytes."""
+    if isinstance(obj, Raw):
+        return obj.value, 0
+    if isinstance(obj, np.ndarray):
+        copy = np.ascontiguousarray(obj)
+        if copy is obj:
+            copy = obj.copy()
+        return copy, copy.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return bytes(obj), len(obj)
+    if obj is None or isinstance(obj, (bool, int, float, complex, str)):
+        # Immutable scalars need no copy; charge a nominal header size.
+        return obj, 8 if not isinstance(obj, str) else len(obj.encode())
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.loads(blob), len(blob)

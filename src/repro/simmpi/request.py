@@ -1,0 +1,44 @@
+"""Nonblocking communication requests."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simmpi.status import Status
+
+
+class Request:
+    """Handle for a nonblocking operation (MPI_Request analogue).
+
+    Send requests complete immediately (sends are buffered); receive
+    requests perform the blocking match when :meth:`wait` is called.
+    """
+
+    def __init__(self, completer: Optional[Callable[[float | None], tuple[Any, Status]]] = None,
+                 *, value: Any = None, status: Status | None = None):
+        self._completer = completer
+        self._value = value
+        self._status = status
+        self._done = completer is None
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until the operation completes; return the received value
+        (``None`` for sends)."""
+        if not self._done:
+            assert self._completer is not None
+            self._value, self._status = self._completer(timeout)
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        """True when the operation has already completed."""
+        return self._done
+
+    @property
+    def status(self) -> Status | None:
+        return self._status
+
+
+def wait_all(requests: list[Request]) -> list[Any]:
+    """Wait on every request; return their values in order."""
+    return [r.wait() for r in requests]

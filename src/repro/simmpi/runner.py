@@ -1,0 +1,231 @@
+"""SPMD job launch: ranks as threads, with a deadlock watchdog.
+
+:func:`run_spmd` is the ``mpiexec`` analogue: it runs ``fn(comm, *args)``
+on ``n`` ranks and returns the per-rank return values.  Exceptions on any
+rank abort the job and are re-raised as :class:`~repro.errors.SpmdError`
+with the full per-rank failure map.
+
+The watchdog implements the guarantee DESIGN.md promises: a test that
+deadlocks raises :class:`~repro.errors.DeadlockError` with a dump of what
+every blocked rank was waiting for, instead of hanging the suite.  The
+heuristic is exact for this runtime: sends never block, so the job is
+deadlocked precisely when every unfinished rank is blocked in a receive
+and no message has been delivered since.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import DeadlockError, SpmdError
+from repro.simmpi.communicator import Communicator, allocate_context
+from repro.simmpi.matching import AbortFlag, Mailbox
+from repro.util.counters import Counters
+
+
+class Job:
+    """Shared state of one running SPMD job."""
+
+    def __init__(self, n: int, *, name: str = "job"):
+        if n < 1:
+            raise ValueError(f"job needs at least 1 rank, got {n}")
+        self.name = name
+        self.n = n
+        self.abort = AbortFlag()
+        self.counters = Counters()
+        self._progress = 0
+        self._progress_lock = threading.Lock()
+        self._blocked: dict[int, Optional[str]] = {}
+        self._finished: set[int] = set()
+        self._state_lock = threading.Lock()
+        self.mailboxes = [
+            Mailbox(r, self.abort, progress=self._bump,
+                    block_state=self._set_block_state)
+            for r in range(n)
+        ]
+
+    # -- watchdog inputs ------------------------------------------------
+
+    def _bump(self) -> None:
+        with self._progress_lock:
+            self._progress += 1
+
+    def progress(self) -> int:
+        with self._progress_lock:
+            return self._progress
+
+    def _set_block_state(self, rank: int, desc: Optional[str]) -> None:
+        with self._state_lock:
+            if desc is None:
+                self._blocked.pop(rank, None)
+            else:
+                self._blocked[rank] = desc
+
+    def mark_finished(self, rank: int) -> None:
+        with self._state_lock:
+            self._finished.add(rank)
+
+    def stalled(self) -> Optional[dict[int, str]]:
+        """If no unfinished rank is runnable, return the block dump.
+
+        Returns an empty dict when all ranks finished (the job cannot
+        unblock anyone else, but is not itself stuck) and ``None`` while
+        at least one rank is runnable.
+        """
+        with self._state_lock:
+            unfinished = set(range(self.n)) - self._finished
+            if unfinished <= set(self._blocked):
+                return {r: self._blocked[r] or "?" for r in sorted(unfinished)}
+            return None
+
+    def world(self, rank: int, context: int) -> Communicator:
+        return Communicator(self, context, rank, tuple(range(self.n)))
+
+
+class SpmdRunner:
+    """Launches and supervises one SPMD job.
+
+    Parameters
+    ----------
+    n:
+        Number of ranks.
+    deadlock_timeout:
+        Seconds of global stall (all unfinished ranks blocked in receives,
+        no deliveries) before the watchdog aborts the job.
+    """
+
+    def __init__(self, n: int, *, name: str = "job",
+                 deadlock_timeout: float = 5.0):
+        self.job = Job(n, name=name)
+        self.deadlock_timeout = deadlock_timeout
+        self._world_context = allocate_context()
+        self._results: dict[int, Any] = {}
+        self._failures: dict[int, BaseException] = {}
+        self._threads: list[threading.Thread] = []
+
+    def _rank_main(self, rank: int, fn: Callable[..., Any],
+                   args: tuple, kwargs: dict) -> None:
+        comm = self.job.world(rank, self._world_context)
+        try:
+            self._results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported via SpmdError
+            self._failures[rank] = exc
+            # Unblock everyone else: a crashed rank will never send the
+            # messages its peers are waiting for.
+            self.job.abort.set(
+                f"rank {rank} raised {type(exc).__name__}: {exc}",
+                blocked={},
+            )
+        finally:
+            self.job.mark_finished(rank)
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank; return values
+        ordered by rank."""
+        self._threads = [
+            threading.Thread(
+                target=self._rank_main, args=(r, fn, args, kwargs),
+                name=f"{self.job.name}-rank{r}", daemon=True)
+            for r in range(self.job.n)
+        ]
+        for t in self._threads:
+            t.start()
+        self._supervise([self.job])
+        return self._finish()
+
+    # -- supervision ------------------------------------------------------
+
+    def _supervise(self, jobs: Sequence[Job]) -> None:
+        """Watchdog loop shared by single and coupled runs."""
+        stall_since: Optional[float] = None
+        stall_progress = -1
+        while any(t.is_alive() for t in self._threads):
+            time.sleep(0.02)
+            progress = sum(j.progress() for j in jobs)
+            dumps = [j.stalled() for j in jobs]
+            if all(d is not None for d in dumps) and any(dumps):
+                if stall_since is None or progress != stall_progress:
+                    stall_since = time.monotonic()
+                    stall_progress = progress
+                elif time.monotonic() - stall_since > self.deadlock_timeout:
+                    merged: dict[int, str] = {}
+                    for j, d in zip(jobs, dumps):
+                        assert d is not None
+                        for r, desc in d.items():
+                            merged[len(merged)] = f"{j.name} rank {r}: {desc}"
+                    for j in jobs:
+                        j.abort.set("deadlock detected by watchdog", merged)
+            else:
+                stall_since = None
+
+    def _finish(self) -> list[Any]:
+        for t in self._threads:
+            t.join()
+        if self._failures:
+            raise SpmdError(self._failures)
+        return [self._results[r] for r in range(self.job.n)]
+
+
+def run_spmd(n: int, fn: Callable[..., Any], *args: Any,
+             deadlock_timeout: float = 5.0, **kwargs: Any) -> list[Any]:
+    """Convenience wrapper: launch ``fn`` on ``n`` ranks and collect results."""
+    return SpmdRunner(n, deadlock_timeout=deadlock_timeout).run(
+        fn, *args, **kwargs)
+
+
+def run_coupled(jobs: Sequence[tuple[str, int, Callable[..., Any], tuple]],
+                *, deadlock_timeout: float = 10.0) -> dict[str, list[Any]]:
+    """Launch several SPMD jobs concurrently in one process.
+
+    This models the paper's distributed scenario: independently started
+    parallel programs (each with its own world communicator) that couple
+    through the name service (:class:`~repro.simmpi.NameService`).
+
+    Parameters
+    ----------
+    jobs:
+        Sequence of ``(name, nranks, fn, args)``; each rank runs
+        ``fn(comm, *args)``.
+
+    Returns
+    -------
+    dict mapping job name to its per-rank return values.
+    """
+    runners = {
+        name: SpmdRunner(n, name=name, deadlock_timeout=deadlock_timeout)
+        for name, n, _, _ in jobs
+    }
+    all_threads: list[threading.Thread] = []
+    for name, n, fn, args in jobs:
+        runner = runners[name]
+        runner._threads = [
+            threading.Thread(
+                target=runner._rank_main, args=(r, fn, args, {}),
+                name=f"{name}-rank{r}", daemon=True)
+            for r in range(n)
+        ]
+        all_threads.extend(runner._threads)
+    for t in all_threads:
+        t.start()
+
+    # One shared watchdog across all jobs: coupled programs can deadlock
+    # on each other, which per-job watchdogs would miss.
+    sentinel = next(iter(runners.values()))
+    sentinel._threads = all_threads
+    sentinel._supervise([r.job for r in runners.values()])
+
+    failures: dict[int, BaseException] = {}
+    results: dict[str, list[Any]] = {}
+    offset = 0
+    for name, n, _, _ in jobs:
+        runner = runners[name]
+        for r in range(n):
+            if r in runner._failures:
+                failures[offset + r] = runner._failures[r]
+        results[name] = [runner._results.get(r) for r in range(n)]
+        offset += n
+    if failures:
+        raise SpmdError(failures)
+    return results

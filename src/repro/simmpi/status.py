@@ -1,0 +1,14 @@
+"""Receive status objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """Metadata about a matched message (MPI_Status analogue)."""
+
+    source: int
+    tag: int
+    nbytes: int

@@ -1,0 +1,20 @@
+"""Shared low-level utilities: region algebra, indexing, instrumentation."""
+
+from repro.util.regions import Region, RegionList
+from repro.util.indexing import (
+    row_major_offset,
+    row_major_coords,
+    region_flat_indices,
+    shape_volume,
+)
+from repro.util.counters import Counters
+
+__all__ = [
+    "Region",
+    "RegionList",
+    "Counters",
+    "row_major_offset",
+    "row_major_coords",
+    "region_flat_indices",
+    "shape_volume",
+]

@@ -1,0 +1,38 @@
+"""Instrumentation counters.
+
+Every communicator carries a :class:`Counters` instance so benchmarks can
+report deterministic *shape* metrics — messages, bytes, barriers — beside
+wall-clock time (which on a thread-simulated runtime is only indicative).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+
+class Counters:
+    """Thread-safe named integer counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._data[name] += int(amount)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._data.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counters({self.snapshot()!r})"

@@ -1,0 +1,205 @@
+"""Distributed framework tests: RMI ports between coupled jobs (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.cca import Component
+from repro.cca.distributed import DistributedFramework
+from repro.cca.sidl import arg, method, port
+from repro.errors import PRMIError
+from repro.simmpi import NameService, run_coupled
+
+SOLVER_PORT = port(
+    "SolverPort",
+    method("solve", arg("rhs")),
+    method("poke", arg("v"), invocation="independent"),
+    method("log", arg("msg"), oneway=True, returns=False),
+)
+
+
+class SolverComponent(Component):
+    def __init__(self):
+        self.logged = []
+
+    def set_services(self, services):
+        super().set_services(services)
+        services.add_provides_port("solver", SOLVER_PORT, self)
+
+    def solve(self, rhs):
+        # SPMD implementation: each cohort instance scales and reduces
+        comm = self.services.comm
+        return comm.allreduce(rhs * (comm.rank + 1), op="sum")
+
+    def poke(self, v):
+        return v * 10
+
+    def log(self, msg):
+        self.logged.append(msg)
+
+
+class ClientComponent(Component):
+    def set_services(self, services):
+        super().set_services(services)
+        services.register_uses_port("solver", SOLVER_PORT)
+
+    def run(self):
+        solver = self.services.get_port("solver")
+        return solver.solve(rhs=2.0)
+
+
+def test_distributed_port_invocation():
+    ns = NameService()
+
+    def server_job(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("solver", SolverComponent)
+        endpoint = fw.serve_connection("solver", "solver", "svc")
+        endpoint.serve_one()
+        return True
+
+    def client_job(comm):
+        fw = DistributedFramework(comm, ns)
+        client = fw.create_component("client", ClientComponent)
+        fw.connect_remote("client", "solver", "svc")
+        return client.run()
+
+    out = run_coupled([
+        ("server", 3, server_job, ()),
+        ("client", 2, client_job, ()),
+    ])
+    # server cohort of 3: sum over ranks of 2*(r+1) = 2+4+6
+    assert out["client"] == [12.0, 12.0]
+
+
+def test_independent_method_via_proxy():
+    ns = NameService()
+
+    def server_job(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("solver", SolverComponent)
+        ep = fw.serve_connection("solver", "solver", "svc")
+        if comm.rank == 1:
+            ep.serve_independent()
+        return True
+
+    def client_job(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("client", ClientComponent)
+        fw.connect_remote("client", "solver", "svc")
+        proxy = fw._services["client"].get_port("solver")
+        if comm.rank == 0:
+            return proxy.poke(_callee=1, v=7)
+        return None
+
+    out = run_coupled([
+        ("server", 2, server_job, ()),
+        ("client", 1, client_job, ()),
+    ])
+    assert out["client"] == [70]
+
+
+def test_collective_method_rejects_callee_kwarg():
+    ns = NameService()
+
+    def server_job(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("solver", SolverComponent)
+        ep = fw.serve_connection("solver", "solver", "svc")
+        ep.serve_one()
+        return True
+
+    def client_job(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("client", ClientComponent)
+        fw.connect_remote("client", "solver", "svc")
+        proxy = fw._services["client"].get_port("solver")
+        with pytest.raises(PRMIError):
+            proxy.solve(_callee=0, rhs=1.0)
+        return proxy.solve(rhs=1.0)
+
+    out = run_coupled([
+        ("server", 1, server_job, ()),
+        ("client", 1, client_job, ()),
+    ])
+    assert out["client"] == [1.0]
+
+
+def test_oneway_log_via_proxy():
+    ns = NameService()
+
+    def server_job(comm):
+        fw = DistributedFramework(comm, ns)
+        solver = fw.create_component("solver", SolverComponent)
+        ep = fw.serve_connection("solver", "solver", "svc")
+        ep.serve_one()
+        return solver.logged
+
+    def client_job(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("client", ClientComponent)
+        fw.connect_remote("client", "solver", "svc")
+        proxy = fw._services["client"].get_port("solver")
+        assert proxy.log(msg="checkpoint") is None
+        return True
+
+    out = run_coupled([
+        ("server", 1, server_job, ()),
+        ("client", 1, client_job, ()),
+    ])
+    assert out["server"] == [["checkpoint"]]
+
+
+def test_three_components_distributed():
+    """Fig. 2's right side: three components, each its own process set,
+    chained through RMI ports."""
+    DOUBLE_PORT = port("DoublePort", method("double", arg("x")))
+
+    class Doubler(Component):
+        def set_services(self, services):
+            super().set_services(services)
+            services.add_provides_port("double", DOUBLE_PORT, self)
+
+        def double(self, x):
+            return 2 * x
+
+    class Middle(Component):
+        def set_services(self, services):
+            super().set_services(services)
+            services.add_provides_port("double", DOUBLE_PORT, self)
+            services.register_uses_port("next", DOUBLE_PORT)
+
+        def double(self, x):
+            # forwards through the next component, then doubles again
+            inner = self.services.get_port("next").double(x=x)
+            return 2 * inner
+
+    ns = NameService()
+
+    def comp1(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("c1", Middle)
+        fw.connect_remote("c1", "next", "c2svc")
+        ep = fw.serve_connection("c1", "double", "c1svc")
+        ep.serve_one()
+        return True
+
+    def comp2(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("c2", Doubler)
+        ep = fw.serve_connection("c2", "double", "c2svc")
+        ep.serve_one()
+        return True
+
+    def driver(comm):
+        fw = DistributedFramework(comm, ns)
+        fw.create_component("drv", ClientComponent)
+        fw._services["drv"].register_uses_port("chain", DOUBLE_PORT)
+        fw.connect_remote("drv", "chain", "c1svc")
+        return fw._services["drv"].get_port("chain").double(x=5)
+
+    out = run_coupled([
+        ("c2", 2, comp2, ()),
+        ("c1", 2, comp1, ()),
+        ("driver", 1, driver, ()),
+    ])
+    assert out["driver"] == [20]

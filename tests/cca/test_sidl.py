@@ -1,0 +1,68 @@
+"""SIDL-lite interface declaration tests."""
+
+import pytest
+
+from repro.cca.sidl import MethodSpec, Param, PortType, arg, method, port
+from repro.errors import OneWayReturnError, PRMIError
+
+
+class TestParam:
+    def test_defaults(self):
+        p = Param("x")
+        assert (p.mode, p.kind) == ("in", "simple")
+
+    def test_bad_mode(self):
+        with pytest.raises(PRMIError):
+            Param("x", mode="sideways")
+
+    def test_bad_kind(self):
+        with pytest.raises(PRMIError):
+            Param("x", kind="quantum")
+
+
+class TestMethodSpec:
+    def test_param_classification(self):
+        m = method("solve",
+                   arg("tol"), arg("field", kind="parallel"),
+                   arg("result", mode="out"))
+        assert [p.name for p in m.in_params] == ["tol", "field"]
+        assert [p.name for p in m.out_params] == ["result"]
+        assert [p.name for p in m.parallel_params] == ["field"]
+
+    def test_inout_in_both(self):
+        m = method("f", arg("x", mode="inout"))
+        assert m.in_params == m.out_params
+
+    def test_oneway_cannot_return(self):
+        with pytest.raises(OneWayReturnError):
+            method("notify", oneway=True, returns=True)
+
+    def test_oneway_cannot_have_out_args(self):
+        with pytest.raises(OneWayReturnError):
+            method("notify", arg("x", mode="out"),
+                   oneway=True, returns=False)
+
+    def test_valid_oneway(self):
+        m = method("notify", arg("event"), oneway=True, returns=False)
+        assert m.oneway and not m.returns
+
+    def test_bad_invocation(self):
+        with pytest.raises(PRMIError):
+            method("f", invocation="simultaneous")
+
+
+class TestPortType:
+    def test_lookup(self):
+        pt = port("Solver", method("solve", arg("tol")))
+        assert pt.method("solve").name == "solve"
+        assert pt.has_method("solve")
+        assert not pt.has_method("destroy")
+
+    def test_missing_method(self):
+        pt = port("Solver")
+        with pytest.raises(PRMIError):
+            pt.method("solve")
+
+    def test_duplicate_methods_rejected(self):
+        with pytest.raises(PRMIError):
+            port("P", method("f"), method("f"))

@@ -1,0 +1,159 @@
+"""Per-axis distribution tests (paper §2.2.2 distribution types)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.dad.axis import (
+    Block,
+    BlockCyclic,
+    Collapsed,
+    Cyclic,
+    GeneralizedBlock,
+    Implicit,
+)
+
+
+class TestCollapsed:
+    def test_single_owner(self):
+        d = Collapsed(10)
+        assert d.nprocs == 1
+        assert all(d.owner(i) == 0 for i in range(10))
+        assert d.intervals(0) == [(0, 10)]
+        assert d.local_size(0) == 10
+
+    def test_descriptor_is_constant_size(self):
+        assert Collapsed(10).descriptor_entries() == Collapsed(10**6).descriptor_entries()
+
+
+class TestBlock:
+    def test_even_division(self):
+        d = Block(12, 3)
+        assert d.intervals(0) == [(0, 4)]
+        assert d.intervals(1) == [(4, 8)]
+        assert d.intervals(2) == [(8, 12)]
+
+    def test_uneven_division_hpf_ceiling(self):
+        d = Block(10, 3)  # ceil(10/3)=4 -> 4,4,2
+        assert [d.local_size(p) for p in range(3)] == [4, 4, 2]
+
+    def test_more_procs_than_elements(self):
+        d = Block(2, 4)  # block=1 -> 1,1,0,0
+        assert [d.local_size(p) for p in range(4)] == [1, 1, 0, 0]
+        d.validate_partition()
+
+    def test_owner_matches_intervals(self):
+        d = Block(17, 4)
+        for i in range(17):
+            p = d.owner(i)
+            assert any(a <= i < b for a, b in d.intervals(p))
+
+    def test_out_of_range(self):
+        with pytest.raises(DistributionError):
+            Block(10, 2).owner(10)
+        with pytest.raises(DistributionError):
+            Block(10, 2).intervals(2)
+
+
+class TestBlockCyclic:
+    def test_cyclic_round_robin(self):
+        d = Cyclic(7, 3)
+        assert [d.owner(i) for i in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+        assert d.intervals(0) == [(0, 1), (3, 4), (6, 7)]
+
+    def test_block_cyclic_blocks(self):
+        d = BlockCyclic(10, 2, block=3)
+        # blocks: [0,3)->p0 [3,6)->p1 [6,9)->p0 [9,10)->p1
+        assert d.intervals(0) == [(0, 3), (6, 9)]
+        assert d.intervals(1) == [(3, 6), (9, 10)]
+
+    def test_degenerate_to_block(self):
+        bc = BlockCyclic(12, 3, block=4)
+        b = Block(12, 3)
+        for p in range(3):
+            assert bc.intervals(p) == b.intervals(p)
+
+    def test_partition_valid(self):
+        for n, p, k in [(20, 3, 2), (7, 7, 1), (13, 2, 5)]:
+            BlockCyclic(n, p, k).validate_partition()
+
+    def test_bad_block_size(self):
+        with pytest.raises(DistributionError):
+            BlockCyclic(10, 2, block=0)
+
+
+class TestGeneralizedBlock:
+    def test_varying_sizes(self):
+        d = GeneralizedBlock(10, [2, 5, 3])
+        assert d.intervals(0) == [(0, 2)]
+        assert d.intervals(1) == [(2, 7)]
+        assert d.intervals(2) == [(7, 10)]
+        assert d.owner(6) == 1
+        assert d.owner(7) == 2
+
+    def test_zero_sized_block(self):
+        d = GeneralizedBlock(5, [0, 5])
+        assert d.intervals(0) == []
+        assert d.owner(0) == 1
+        d.validate_partition()
+
+    def test_sizes_must_sum(self):
+        with pytest.raises(DistributionError):
+            GeneralizedBlock(10, [3, 3])
+
+    def test_descriptor_scales_with_procs(self):
+        assert GeneralizedBlock(100, [25] * 4).descriptor_entries() == 5
+
+
+class TestImplicit:
+    def test_arbitrary_owner_map(self):
+        d = Implicit([0, 2, 2, 1, 0, 1])
+        assert d.nprocs == 3
+        assert d.owner(1) == 2
+        assert d.intervals(0) == [(0, 1), (4, 5)]
+        assert d.intervals(2) == [(1, 3)]
+        d.validate_partition()
+
+    def test_run_compression(self):
+        d = Implicit([1, 1, 1, 0, 0, 1, 1])
+        assert d.intervals(1) == [(0, 3), (5, 7)]
+        assert d.intervals(0) == [(3, 5)]
+
+    def test_descriptor_one_entry_per_element(self):
+        assert Implicit([0] * 50, nprocs=1).descriptor_entries() == 50
+
+    def test_invalid_owner_value(self):
+        with pytest.raises(DistributionError):
+            Implicit([0, 3], nprocs=2)
+
+    def test_empty_proc(self):
+        d = Implicit([0, 0], nprocs=3)
+        assert d.intervals(2) == []
+        assert d.local_size(2) == 0
+
+
+@pytest.mark.parametrize("dist", [
+    Collapsed(13),
+    Block(13, 4),
+    Cyclic(13, 4),
+    BlockCyclic(13, 4, 3),
+    GeneralizedBlock(13, [1, 6, 0, 6]),
+    Implicit(np.arange(13) % 4, nprocs=4),
+])
+def test_partition_invariant(dist):
+    """Every distribution type must partition the axis exactly once."""
+    dist.validate_partition()
+    total = sum(dist.local_size(p) for p in range(dist.nprocs))
+    assert total == dist.extent
+
+
+@pytest.mark.parametrize("dist", [
+    Block(29, 5),
+    BlockCyclic(29, 5, 2),
+    GeneralizedBlock(29, [5, 10, 0, 7, 7]),
+    Implicit((np.arange(29) * 7) % 5, nprocs=5),
+])
+def test_owner_consistent_with_intervals(dist):
+    for i in range(dist.extent):
+        p = dist.owner(i)
+        assert any(a <= i < b for a, b in dist.intervals(p)), (i, p)

@@ -1,0 +1,148 @@
+"""Template tests: Cartesian composition and explicit patch templates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.dad.axis import Block, BlockCyclic, Collapsed, Cyclic, GeneralizedBlock
+from repro.dad.template import CartesianTemplate, ExplicitTemplate, block_template
+from repro.util.regions import Region
+
+
+class TestCartesianTemplate:
+    def test_2d_block_block(self):
+        t = block_template((8, 6), (2, 3))
+        assert t.nranks == 6
+        assert t.grid == (2, 3)
+        regions = list(t.owner_regions(0))
+        assert regions == [Region((0, 0), (4, 2))]
+        # rank 5 = coords (1, 2)
+        assert list(t.owner_regions(5)) == [Region((4, 4), (8, 6))]
+
+    def test_owner_of(self):
+        t = block_template((8, 6), (2, 3))
+        assert t.owner_of((0, 0)) == 0
+        assert t.owner_of((7, 5)) == 5
+        assert t.owner_of((3, 4)) == 2  # coords (0, 2)
+
+    def test_fig1_8_and_27(self):
+        """The paper's Fig. 1 decompositions: 8 = 2x2x2, 27 = 3x3x3."""
+        shape = (12, 12, 12)
+        m_side = block_template(shape, (2, 2, 2))
+        n_side = block_template(shape, (3, 3, 3))
+        assert m_side.nranks == 8
+        assert n_side.nranks == 27
+        m_side.validate()
+        n_side.validate()
+
+    def test_mixed_axis_types(self):
+        t = CartesianTemplate([
+            Block(10, 2),
+            Cyclic(6, 3),
+            Collapsed(4),
+        ])
+        assert t.nranks == 6
+        assert t.shape == (10, 6, 4)
+        t.validate()
+        # rank 1 = grid coords (0, 1, 0): rows 0..5, cyclic cols 1,4
+        regions = list(t.owner_regions(1))
+        assert Region((0, 1, 0), (5, 2, 4)) in regions
+        assert Region((0, 4, 0), (5, 5, 4)) in regions
+
+    def test_block_cyclic_multiple_regions_per_rank(self):
+        t = CartesianTemplate([BlockCyclic(8, 2, 2), BlockCyclic(8, 2, 2)])
+        regions = t.owner_regions(0)
+        assert len(regions) == 4  # 2 row-block-groups x 2 col-block-groups
+        t.validate()
+
+    def test_generalized_block_axis(self):
+        t = CartesianTemplate([GeneralizedBlock(10, [7, 3]), Block(4, 2)])
+        t.validate()
+        assert t.local_volume(0) == 7 * 2
+
+    def test_validate_covers_all(self):
+        for grid in [(1, 1), (2, 2), (4, 1)]:
+            block_template((7, 5), grid).validate()
+
+    def test_proc_coords_roundtrip(self):
+        t = block_template((4, 4, 4), (2, 3, 2))
+        for r in range(t.nranks):
+            assert t.proc_rank(t.proc_coords(r)) == r
+
+    def test_cache_key_equality(self):
+        a = block_template((8, 8), (2, 2))
+        b = block_template((8, 8), (2, 2))
+        c = block_template((8, 8), (4, 1))
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+    def test_cache_key_distinguishes_block_sizes(self):
+        a = CartesianTemplate([BlockCyclic(12, 2, 2)])
+        b = CartesianTemplate([BlockCyclic(12, 2, 3)])
+        assert a.cache_key() != b.cache_key()
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(DistributionError):
+            CartesianTemplate([])
+
+
+class TestExplicitTemplate:
+    def test_arbitrary_patches(self):
+        t = ExplicitTemplate((4, 4), [
+            (0, Region((0, 0), (2, 4))),
+            (1, Region((2, 0), (4, 2))),
+            (2, Region((2, 2), (4, 4))),
+        ])
+        assert t.nranks == 3
+        assert t.owner_of((1, 3)) == 0
+        assert t.owner_of((3, 1)) == 1
+        assert t.owner_of((3, 3)) == 2
+        t.validate()
+
+    def test_multiple_patches_per_rank(self):
+        t = ExplicitTemplate((4, 2), [
+            (0, Region((0, 0), (1, 2))),
+            (1, Region((1, 0), (3, 2))),
+            (0, Region((3, 0), (4, 2))),
+        ])
+        assert t.owner_regions(0).volume == 4
+        assert len(t.owner_regions(0)) == 2
+
+    def test_overlap_rejected(self):
+        with pytest.raises(DistributionError):
+            ExplicitTemplate((4,), [
+                (0, Region((0,), (3,))),
+                (1, Region((2,), (4,))),
+            ])
+
+    def test_gap_rejected(self):
+        with pytest.raises(DistributionError):
+            ExplicitTemplate((4,), [(0, Region((0,), (3,)))])
+
+    def test_nranks_can_exceed_patch_owners(self):
+        t = ExplicitTemplate((2,), [(0, Region((0,), (2,)))], nranks=4)
+        assert t.nranks == 4
+        assert t.owner_regions(3).volume == 0
+
+    def test_descriptor_entries_scale_with_patches(self):
+        patches = [(i, Region((i,), (i + 1,))) for i in range(8)]
+        t = ExplicitTemplate((8,), patches)
+        assert t.descriptor_entries() == 8 * 3  # lo+hi+rank per 1-D patch
+
+    def test_point_outside_template(self):
+        t = ExplicitTemplate((2,), [(0, Region((0,), (2,)))])
+        with pytest.raises(DistributionError):
+            t.owner_of((5,))
+
+
+def test_block_template_rank_mismatch():
+    with pytest.raises(DistributionError):
+        block_template((4, 4), (2,))
+
+
+def test_all_owner_regions_partition():
+    t = CartesianTemplate([BlockCyclic(9, 2, 2), GeneralizedBlock(5, [2, 3])])
+    seen = np.zeros(t.shape, dtype=int)
+    for _, region in t.all_owner_regions():
+        seen[region.to_slices()] += 1
+    assert np.all(seen == 1)

@@ -1,0 +1,74 @@
+"""Figure 5 reproduction: the PRMI synchronization problem.
+
+"The solution is to delay PRMI delivery until all processes are ready."
+"""
+
+import pytest
+
+from repro.dca import DeliveryPolicy
+from repro.dca.fig5 import run_fig5
+from repro.errors import DeadlockError, SpmdError
+
+
+def test_barrier_policy_completes():
+    out = run_fig5(DeliveryPolicy.BARRIER)
+    # call 2 is serviced first (its participants are ready first), then
+    # call 1 once process 0's barrier releases.
+    assert out["timeline"] == ["call2", "call1"]
+    assert out["callers"][0] == ["r1:a"]
+    assert out["callers"][1] == ["r2:b", "r1:a"]
+    assert out["callers"][2] == ["r2:b", "r1:a"]
+
+
+def test_eager_policy_deadlocks():
+    """Without the barrier, the provider commits to call 1 at t1 and can
+    never receive processes 2 and 3's call-2 bodies — deadlock, detected
+    by the watchdog rather than hanging."""
+    with pytest.raises(SpmdError) as exc_info:
+        run_fig5(DeliveryPolicy.EAGER)
+    assert any(isinstance(e, DeadlockError)
+               for e in exc_info.value.failures.values())
+
+
+def test_eager_without_intersection_is_fine():
+    """§4.3: 'the problem ... disappears if process 1 participates in the
+    second call' — full participation needs no barrier."""
+    import time
+    from repro.cca.sidl import arg, method, port
+    from repro.dca import DCACallerPort, DCAServerPort
+    from repro.simmpi import NameService, run_coupled
+
+    PORT = port("P", method("f", arg("x")), method("g", arg("x")))
+    ns = NameService()
+
+    class Impl:
+        def __init__(self):
+            self.order = []
+
+        def f(self, x):
+            self.order.append("f")
+            return x
+
+        def g(self, x):
+            self.order.append("g")
+            return x
+
+    def provider(comm):
+        inter = ns.accept("p", comm)
+        sp = DCAServerPort(comm, inter, PORT, Impl())
+        sp.serve(2)
+        return sp.impl.order
+
+    def callers(comm):
+        inter = ns.connect("p", comm)
+        cp = DCACallerPort(comm, inter, PORT, policy=DeliveryPolicy.EAGER)
+        if comm.rank == 0:
+            time.sleep(0.05)  # skew arrival; full participation still safe
+        r1 = cp.invoke("g", x=1)
+        r2 = cp.invoke("f", x=2)
+        return (r1, r2)
+
+    out = run_coupled([("provider", 1, provider, ()),
+                       ("callers", 3, callers, ())])
+    assert out["provider"][0] == ["g", "f"]
+    assert out["callers"] == [(1, 2)] * 3

@@ -1,0 +1,166 @@
+"""Distributed Data Broker tests: brokered cross-resolution coupling."""
+
+import numpy as np
+import pytest
+
+from repro.dad import DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.ddb import DataBroker, regrid_matrix
+from repro.errors import ReproError, SpmdError
+from repro.simmpi import NameService, run_coupled
+
+
+class TestRegridMatrix:
+    def test_coarsening_conserves_mean(self):
+        rows, cols, vals = regrid_matrix(8, 4)
+        import scipy.sparse as sp
+        R = sp.coo_matrix((vals, (rows, cols)), shape=(4, 8)).tocsr()
+        x = np.arange(8.0)
+        y = R @ x
+        # conservative averaging preserves the global mean
+        assert y.mean() == pytest.approx(x.mean())
+        np.testing.assert_allclose(y, [0.5, 2.5, 4.5, 6.5])
+
+    def test_refinement_exact_on_linear(self):
+        rows, cols, vals = regrid_matrix(8, 16)
+        import scipy.sparse as sp
+        R = sp.coo_matrix((vals, (rows, cols)), shape=(16, 8)).tocsr()
+        xs = (np.arange(8) + 0.5) / 8
+        y = R @ (3 * xs + 1)
+        xd = (np.arange(16) + 0.5) / 16
+        interior = (xd >= xs[0]) & (xd <= xs[-1])
+        np.testing.assert_allclose(y[interior], (3 * xd + 1)[interior])
+
+    def test_identity_resolution(self):
+        rows, cols, vals = regrid_matrix(4, 4)
+        assert np.all(rows == cols)
+        np.testing.assert_allclose(vals, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            regrid_matrix(1, 4)
+
+
+def run_brokered(producer_res, consumer_res, m, n, requests=1,
+                 consumers=None):
+    """One producer offering a linear profile; consumers at their own
+    resolution."""
+    ns = NameService()
+    broker = DataBroker(ns)
+    src_desc = DistArrayDescriptor(block_template((producer_res,), (m,)))
+    xs = (np.arange(producer_res) + 0.5) / producer_res
+    profile = 3.0 * xs + 1.0
+
+    def producer(comm):
+        da = DistributedArray.from_global(src_desc, comm.rank, profile)
+        broker.offer(comm, "sst", da)
+        return broker.serve(comm, "sst", da, requests=requests)
+
+    def consumer(comm):
+        import time
+        while comm.rank == 0 and "sst" not in broker.offered_fields():
+            time.sleep(0.01)
+        comm.barrier()
+        values, gsmap = broker.request(comm, "sst", consumer_res)
+        assert values.shape[0] == gsmap.local_size(comm.rank)
+        return values, gsmap.global_indices(comm.rank)
+
+    jobs = [("producer", m, producer, ())]
+    for name, nranks in (consumers or [("consumer", n)]):
+        jobs.append((name, nranks, consumer, ()))
+    return run_coupled(jobs), profile
+
+
+class TestBrokeredCoupling:
+    def test_same_resolution(self):
+        out, profile = run_brokered(16, 16, m=2, n=3)
+        got = np.zeros(16)
+        for values, gidx in out["consumer"]:
+            got[gidx] = values
+        np.testing.assert_allclose(got, profile)
+
+    def test_coarsening(self):
+        out, profile = run_brokered(32, 8, m=2, n=2)
+        got = np.zeros(8)
+        for values, gidx in out["consumer"]:
+            got[gidx] = values
+        # conservative coarsening of a linear profile stays linear with
+        # the same mean
+        assert got.mean() == pytest.approx(profile.mean())
+        xd = (np.arange(8) + 0.5) / 8
+        np.testing.assert_allclose(got, 3.0 * xd + 1.0, rtol=1e-12)
+
+    def test_refinement(self):
+        out, profile = run_brokered(8, 32, m=3, n=2)
+        got = np.zeros(32)
+        for values, gidx in out["consumer"]:
+            got[gidx] = values
+        xs = (np.arange(8) + 0.5) / 8
+        xd = (np.arange(32) + 0.5) / 32
+        interior = (xd >= xs[0]) & (xd <= xs[-1])
+        np.testing.assert_allclose(got[interior],
+                                   (3.0 * xd + 1.0)[interior])
+
+    def test_two_consumers_different_resolutions(self):
+        """'coupling codes with different grid resolutions' — two
+        consumers, one coarser and one finer than the producer."""
+        ns = NameService()
+        broker = DataBroker(ns)
+        res = 16
+        src_desc = DistArrayDescriptor(block_template((res,), (2,)))
+        xs = (np.arange(res) + 0.5) / res
+        profile = 2.0 * xs
+
+        def producer(comm):
+            da = DistributedArray.from_global(src_desc, comm.rank, profile)
+            broker.offer(comm, "flux", da)
+            return broker.serve(comm, "flux", da, requests=2)
+
+        def make_consumer(my_res):
+            def body(comm):
+                import time
+                while comm.rank == 0 and \
+                        "flux" not in broker.offered_fields():
+                    time.sleep(0.01)
+                comm.barrier()
+                values, gsmap = broker.request(comm, "flux", my_res)
+                local_sum = float(values.sum())
+                return comm.allreduce(local_sum, op="sum") / my_res
+            return body
+
+        out = run_coupled([
+            ("producer", 2, producer, ()),
+            ("coarse", 2, make_consumer(4), ()),
+            ("fine", 3, make_consumer(64), ()),
+        ])
+        # both consumers see (approximately) the producer's mean
+        assert out["coarse"][0] == pytest.approx(profile.mean())
+        assert out["fine"][0] == pytest.approx(profile.mean(), rel=1e-2)
+
+    def test_unknown_field_raises(self):
+        ns = NameService()
+        broker = DataBroker(ns)
+
+        def consumer(comm):
+            broker.request(comm, "ghost", 8)
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_coupled([("consumer", 1, consumer, ())],
+                        deadlock_timeout=1.0)
+        assert any(isinstance(e, ReproError)
+                   for e in exc_info.value.failures.values())
+
+    def test_duplicate_offer_rejected(self):
+        ns = NameService()
+        broker = DataBroker(ns)
+        desc = DistArrayDescriptor(block_template((8,), (1,)))
+
+        def producer(comm):
+            da = DistributedArray.allocate(desc, comm.rank)
+            broker.offer(comm, "x", da)
+            with pytest.raises(ReproError):
+                broker.offer(comm, "x", da)
+            return True
+
+        out = run_coupled([("producer", 1, producer, ())])
+        assert all(out["producer"])

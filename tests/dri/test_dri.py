@@ -1,0 +1,173 @@
+"""DRI-1.0 model tests: types, datasets, staged reorganization."""
+
+import numpy as np
+import pytest
+
+from repro.dri import (
+    BLOCK,
+    BLOCK_CYCLIC,
+    DRIDataset,
+    DRIReorg,
+    DRI_TYPES,
+    dri_dtype,
+)
+from repro.dri.dataset import COLLAPSED, Partition
+from repro.errors import ReproError, ScheduleError
+from repro.simmpi import run_spmd
+
+
+class TestTypes:
+    def test_standard_types_present(self):
+        """The paper's list: 12 standard types."""
+        expected = {"float", "double", "complex", "double_complex",
+                    "integer", "short", "unsigned_short", "long",
+                    "unsigned_long", "char", "unsigned_char", "byte"}
+        assert set(DRI_TYPES) == expected
+
+    def test_dtype_mapping(self):
+        assert dri_dtype("double") == np.float64
+        assert dri_dtype("COMPLEX") == np.complex64
+        assert dri_dtype("byte") == np.uint8
+
+    def test_unknown_type(self):
+        with pytest.raises(ReproError):
+            dri_dtype("quaternion")
+
+
+class TestDataset:
+    def test_max_three_dims(self):
+        DRIDataset((4, 4, 4), [BLOCK(2), BLOCK(2), COLLAPSED])
+        with pytest.raises(ReproError):
+            DRIDataset((2, 2, 2, 2), [BLOCK(1)] * 4)
+
+    def test_partition_validation(self):
+        with pytest.raises(ReproError):
+            Partition("diagonal")
+        with pytest.raises(ReproError):
+            DRIDataset((4,), [BLOCK(2), BLOCK(2)])
+
+    def test_local_buffer_size(self):
+        ds = DRIDataset((8, 4), [BLOCK(2), COLLAPSED])
+        assert ds.local_buffer_size(0) == 16
+        assert ds.nranks == 2
+
+    def test_layout_order_views(self):
+        """C and F local layouts store the same patch differently."""
+        g = np.arange(12.0).reshape(3, 4)
+        for order in ("C", "F"):
+            ds = DRIDataset((3, 4), [COLLAPSED, COLLAPSED],
+                            layout_order=order)
+            buf = ds.allocate_local(0)
+            ds.fill_local_from_global(0, buf, g)
+            if order == "C":
+                np.testing.assert_array_equal(buf, g.reshape(-1))
+            else:
+                np.testing.assert_array_equal(buf, g.reshape(-1, order="F"))
+            # roundtrip through patch views
+            out = np.zeros_like(g)
+            ds.scatter_local_to_global(0, buf, out)
+            np.testing.assert_array_equal(out, g)
+
+    def test_block_cyclic_multiple_patches(self):
+        ds = DRIDataset((8,), [BLOCK_CYCLIC(2, 2)])
+        views = ds.patch_views(0, ds.allocate_local(0))
+        assert len(views) == 2  # blocks [0,2) and [4,6)
+
+    def test_buffer_size_checked(self):
+        ds = DRIDataset((4,), [BLOCK(2)])
+        from repro.errors import DistributionError
+        with pytest.raises(DistributionError):
+            ds.patch_views(0, np.zeros(5))
+
+
+class TestReorg:
+    def _roundtrip(self, src_ds, dst_ds, g):
+        plan = DRIReorg(src_ds, dst_ds)
+        n = max(src_ds.nranks, dst_ds.nranks)
+
+        def main(comm):
+            me = comm.rank
+            sendbuf = None
+            if me < src_ds.nranks:
+                sendbuf = src_ds.allocate_local(me)
+                src_ds.fill_local_from_global(me, sendbuf, g)
+            recvbuf = (dst_ds.allocate_local(me)
+                       if me < dst_ds.nranks else None)
+            handle = plan.begin(comm, sendbuf, recvbuf)
+            # the standard's loop: put/get until complete
+            handle.run_to_completion()
+            assert handle.complete()
+            return recvbuf
+
+        results = run_spmd(n, main)
+        out = np.zeros_like(g)
+        for r, buf in enumerate(results):
+            if buf is not None:
+                dst_ds.scatter_local_to_global(r, buf, out)
+        return out
+
+    def test_block_to_block_cyclic(self):
+        g = np.arange(64.0).reshape(8, 8)
+        src = DRIDataset((8, 8), [BLOCK(2), COLLAPSED])
+        dst = DRIDataset((8, 8), [BLOCK_CYCLIC(4, 1), COLLAPSED])
+        np.testing.assert_array_equal(self._roundtrip(src, dst, g), g)
+
+    def test_mixed_layout_orders(self):
+        """C-ordered source to F-ordered destination."""
+        g = np.arange(24.0).reshape(4, 6)
+        src = DRIDataset((4, 6), [BLOCK(2), COLLAPSED], layout_order="C")
+        dst = DRIDataset((4, 6), [COLLAPSED, BLOCK(3)], layout_order="F")
+        np.testing.assert_array_equal(self._roundtrip(src, dst, g), g)
+
+    def test_3d_typed(self):
+        rng = np.random.default_rng(0)
+        g = rng.integers(0, 100, size=(4, 4, 4)).astype(np.int32)
+        src = DRIDataset((4, 4, 4), [BLOCK(2), BLOCK(2), COLLAPSED],
+                         dtype_name="integer")
+        dst = DRIDataset((4, 4, 4), [COLLAPSED, COLLAPSED, BLOCK(2)],
+                         dtype_name="integer")
+        out = self._roundtrip(src, dst, g)
+        assert out.dtype == np.int32
+        np.testing.assert_array_equal(out, g)
+
+    def test_complex_type(self):
+        g = (np.arange(16.0) + 1j * np.arange(16.0)).reshape(4, 4) \
+            .astype(np.complex64)
+        src = DRIDataset((4, 4), [BLOCK(2), COLLAPSED], "complex")
+        dst = DRIDataset((4, 4), [COLLAPSED, BLOCK(2)], "complex")
+        np.testing.assert_array_equal(self._roundtrip(src, dst, g), g)
+
+    def test_staged_progress_counts(self):
+        src = DRIDataset((8,), [BLOCK(2)])
+        dst = DRIDataset((8,), [BLOCK_CYCLIC(2, 1)])
+        plan = DRIReorg(src, dst)
+
+        def main(comm):
+            me = comm.rank
+            sendbuf = src.allocate_local(me)
+            src.fill_local_from_global(me, sendbuf, np.arange(8.0))
+            recvbuf = dst.allocate_local(me)
+            handle = plan.begin(comm, sendbuf, recvbuf)
+            steps = 0
+            assert not handle.complete()
+            while not handle.complete():
+                moved = handle.put() or handle.get()
+                steps += 1
+                assert steps < 100
+            # one staged call per fragment in each direction
+            assert handle.puts_done == len(plan.schedule.sends_from(me))
+            assert handle.gets_done == len(plan.schedule.recvs_at(me))
+            return True
+
+        assert all(run_spmd(2, main))
+
+    def test_type_mismatch_rejected(self):
+        src = DRIDataset((4,), [BLOCK(2)], "float")
+        dst = DRIDataset((4,), [BLOCK(2)], "double")
+        with pytest.raises(ReproError):
+            DRIReorg(src, dst)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ScheduleError):
+            DRIReorg(DRIDataset((4,), [BLOCK(2)]),
+                     DRIDataset((5,), [BLOCK(2)]))

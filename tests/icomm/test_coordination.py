@@ -1,0 +1,91 @@
+"""Matching-rule unit tests."""
+
+import pytest
+
+from repro.errors import CoordinationError
+from repro.icomm import CoordinationSpec, MatchRule, Matching
+
+
+class TestExact:
+    def test_match_present(self):
+        r = MatchRule("f", Matching.EXACT)
+        assert r.resolve(5, [3, 5, 7], 7, False) == 5
+
+    def test_wait_for_future(self):
+        r = MatchRule("f", Matching.EXACT)
+        assert r.resolve(9, [3, 5], 5, False) is None
+
+    def test_missed_raises(self):
+        r = MatchRule("f", Matching.EXACT)
+        with pytest.raises(CoordinationError):
+            r.resolve(4, [3, 5], 5, False)  # stream already passed 4
+
+    def test_stream_done_raises(self):
+        r = MatchRule("f", Matching.EXACT)
+        with pytest.raises(CoordinationError):
+            r.resolve(9, [3, 5], 5, True)
+
+
+class TestGLB:
+    def test_glb_decided_once_stream_passes(self):
+        r = MatchRule("f", Matching.GREATEST_LOWER_BOUND)
+        assert r.resolve(6, [2, 4, 8], 8, False) == 4
+
+    def test_glb_waits_until_certain(self):
+        r = MatchRule("f", Matching.GREATEST_LOWER_BOUND)
+        # latest export has not passed the import ts: a closer export
+        # may still come, so the decision must wait
+        assert r.resolve(6, [2, 4, 6], 6, False) is None
+        assert r.resolve(7, [2, 4, 6], 6, False) is None
+
+    def test_glb_at_stream_end(self):
+        r = MatchRule("f", Matching.GREATEST_LOWER_BOUND)
+        assert r.resolve(7, [2, 4, 6], 6, True) == 6
+
+    def test_glb_nothing_below_raises_at_end(self):
+        r = MatchRule("f", Matching.GREATEST_LOWER_BOUND)
+        with pytest.raises(CoordinationError):
+            r.resolve(1, [2, 4], 4, True)
+
+
+class TestRegular:
+    def test_eligibility(self):
+        r = MatchRule("f", Matching.REGULAR, interval=3)
+        assert r.eligible(6)
+        assert not r.eligible(7)
+
+    def test_floor_matching(self):
+        r = MatchRule("f", Matching.REGULAR, interval=3)
+        assert r.resolve(7, [0, 3, 6], 7, False) == 6
+
+    def test_wait_for_target(self):
+        r = MatchRule("f", Matching.REGULAR, interval=3)
+        assert r.resolve(8, [0, 3], 5, False) is None
+
+    def test_missing_target_raises(self):
+        r = MatchRule("f", Matching.REGULAR, interval=3)
+        with pytest.raises(CoordinationError):
+            r.resolve(7, [0, 3], 9, False)  # 6 skipped
+
+    def test_bad_interval(self):
+        with pytest.raises(CoordinationError):
+            MatchRule("f", Matching.REGULAR, interval=0)
+
+
+class TestSpec:
+    def test_rule_lookup(self):
+        spec = CoordinationSpec([MatchRule("a"), MatchRule("b")])
+        assert spec.rule("a").field == "a"
+        assert spec.fields() == ["a", "b"]
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(CoordinationError):
+            CoordinationSpec([MatchRule("a"), MatchRule("a")])
+
+    def test_missing_rule(self):
+        with pytest.raises(CoordinationError):
+            CoordinationSpec().rule("ghost")
+
+    def test_history_validation(self):
+        with pytest.raises(CoordinationError):
+            CoordinationSpec(history=0)

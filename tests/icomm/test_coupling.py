@@ -1,0 +1,216 @@
+"""End-to-end InterComm export/import coupling tests."""
+
+import numpy as np
+import pytest
+
+from repro.dad import DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.errors import CoordinationError, SpmdError
+from repro.icomm import (
+    CoordinationSpec,
+    Exporter,
+    Importer,
+    MatchRule,
+    Matching,
+)
+from repro.simmpi import NameService, run_coupled
+
+SHAPE = (6, 4)
+
+
+def field_pair(m, n, dtype=np.float64):
+    src = DistArrayDescriptor(block_template(SHAPE, (m, 1)), dtype)
+    dst = DistArrayDescriptor(block_template(SHAPE, (1, n)), dtype)
+    return src, dst
+
+
+def run_scenario(m, n, spec, exporter_body, importer_body,
+                 total_imports=None):
+    src_desc, dst_desc = field_pair(m, n)
+    fields = {"flux": (src_desc, dst_desc)}
+    ns = NameService()
+
+    def prog_a(comm):
+        inter = ns.accept("ic", comm)
+        exp = Exporter(comm, inter, spec, fields,
+                       total_imports=total_imports)
+        return exporter_body(exp, comm, src_desc)
+
+    def prog_b(comm):
+        inter = ns.connect("ic", comm)
+        imp = Importer(comm, inter, spec, fields)
+        return importer_body(imp, comm, dst_desc)
+
+    return run_coupled([("A", m, prog_a, ()), ("B", n, prog_b, ())])
+
+
+def stamped(desc, rank, ts):
+    return DistributedArray.from_function(
+        desc, rank, lambda i, j: 100 * ts + 10 * i + j)
+
+
+def test_exact_matching_transfer():
+    spec = CoordinationSpec([MatchRule("flux", Matching.EXACT)])
+
+    def exporter_body(exp, comm, desc):
+        for ts in range(4):
+            exp.export("flux", ts, stamped(desc, comm.rank, ts))
+        exp.finalize()
+        return exp.transfers
+
+    def importer_body(imp, comm, desc):
+        da = DistributedArray.allocate(desc, comm.rank)
+        matched = imp.import_("flux", 2, da)
+        return matched, da
+
+    out = run_scenario(2, 2, spec, exporter_body, importer_body,
+                       total_imports=1)
+    matched = [r[0] for r in out["B"]]
+    assert matched == [2, 2]
+    assembled = DistributedArray.assemble([r[1] for r in out["B"]])
+    expected = np.fromfunction(lambda i, j: 200 + 10 * i + j, SHAPE)
+    np.testing.assert_array_equal(assembled, expected)
+
+
+def test_glb_matching_takes_most_recent_lower():
+    spec = CoordinationSpec(
+        [MatchRule("flux", Matching.GREATEST_LOWER_BOUND)])
+
+    def exporter_body(exp, comm, desc):
+        for ts in (0, 4, 8, 12):
+            exp.export("flux", ts, stamped(desc, comm.rank, ts))
+        exp.finalize()
+        return exp.transfers
+
+    def importer_body(imp, comm, desc):
+        da = DistributedArray.allocate(desc, comm.rank)
+        return imp.import_("flux", 6, da)
+
+    out = run_scenario(2, 1, spec, exporter_body, importer_body,
+                       total_imports=1)
+    assert out["B"] == [4]
+
+
+def test_regular_matching_interval():
+    spec = CoordinationSpec(
+        [MatchRule("flux", Matching.REGULAR, interval=5)])
+
+    def exporter_body(exp, comm, desc):
+        # exports every step, but only multiples of 5 are eligible
+        for ts in range(11):
+            exp.export("flux", ts, stamped(desc, comm.rank, ts))
+        exp.finalize()
+        return exp.transfers
+
+    def importer_body(imp, comm, desc):
+        da = DistributedArray.allocate(desc, comm.rank)
+        return imp.import_("flux", 7, da)  # -> floor(7/5)*5 = 5
+
+    out = run_scenario(1, 2, spec, exporter_body, importer_body,
+                       total_imports=1)
+    assert out["B"] == [5, 5]
+
+
+def test_multiple_imports_same_export():
+    spec = CoordinationSpec(
+        [MatchRule("flux", Matching.GREATEST_LOWER_BOUND)])
+
+    def exporter_body(exp, comm, desc):
+        exp.export("flux", 0, stamped(desc, comm.rank, 0))
+        exp.export("flux", 10, stamped(desc, comm.rank, 10))
+        exp.finalize()
+        return exp.transfers
+
+    def importer_body(imp, comm, desc):
+        da = DistributedArray.allocate(desc, comm.rank)
+        m1 = imp.import_("flux", 3, da)
+        m2 = imp.import_("flux", 5, da)
+        return (m1, m2)
+
+    out = run_scenario(1, 1, spec, exporter_body, importer_body,
+                       total_imports=2)
+    assert out["B"] == [(0, 0)]
+    assert out["A"] == [2]  # two transfers of the same snapshot
+
+
+def test_import_blocks_until_export_arrives():
+    """Importer asks for a future timestamp; transfer completes once the
+    exporter reaches it."""
+    spec = CoordinationSpec([MatchRule("flux", Matching.EXACT)])
+
+    def exporter_body(exp, comm, desc):
+        import time
+        for ts in range(5):
+            time.sleep(0.02)
+            exp.export("flux", ts, stamped(desc, comm.rank, ts))
+        exp.finalize()
+        return exp.transfers
+
+    def importer_body(imp, comm, desc):
+        da = DistributedArray.allocate(desc, comm.rank)
+        return imp.import_("flux", 4, da)  # requested before it exists
+
+    out = run_scenario(2, 2, spec, exporter_body, importer_body,
+                       total_imports=1)
+    assert out["B"] == [4, 4]
+
+
+def test_unmatchable_import_raises_on_importer():
+    spec = CoordinationSpec([MatchRule("flux", Matching.EXACT)])
+
+    def exporter_body(exp, comm, desc):
+        exp.export("flux", 0, stamped(desc, comm.rank, 0))
+        exp.export("flux", 2, stamped(desc, comm.rank, 2))
+        exp.finalize()
+        return True
+
+    def importer_body(imp, comm, desc):
+        da = DistributedArray.allocate(desc, comm.rank)
+        imp.import_("flux", 1, da)  # never exported
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_scenario(1, 1, spec, exporter_body, importer_body,
+                     total_imports=1)
+    assert any(isinstance(e, CoordinationError)
+               for e in exc_info.value.failures.values())
+
+
+def test_history_eviction():
+    spec = CoordinationSpec([MatchRule("flux", Matching.EXACT)],
+                            history=2)
+
+    def exporter_body(exp, comm, desc):
+        for ts in range(5):
+            exp.export("flux", ts, stamped(desc, comm.rank, ts))
+        exp.finalize()
+        return True
+
+    def importer_body(imp, comm, desc):
+        import time
+        time.sleep(0.2)  # let the exporter run ahead and evict ts=0
+        da = DistributedArray.allocate(desc, comm.rank)
+        imp.import_("flux", 0, da)
+
+    with pytest.raises(SpmdError):
+        run_scenario(1, 1, spec, exporter_body, importer_body,
+                     total_imports=1)
+
+
+def test_unknown_field_raises():
+    spec = CoordinationSpec([MatchRule("flux")])
+
+    def exporter_body(exp, comm, desc):
+        with pytest.raises(CoordinationError):
+            exp.export("ghost", 0, stamped(desc, comm.rank, 0))
+        exp.finalize()
+        return True
+
+    def importer_body(imp, comm, desc):
+        da = DistributedArray.allocate(desc, comm.rank)
+        with pytest.raises(CoordinationError):
+            imp.import_("ghost", 0, da)
+        return True
+
+    out = run_scenario(1, 1, spec, exporter_body, importer_body,
+                       total_imports=0)
+    assert out["A"] == [True] and out["B"] == [True]

@@ -1,0 +1,68 @@
+"""InterComm descriptor storage-class tests (replicated vs partitioned)."""
+
+import numpy as np
+import pytest
+
+from repro.dad.template import block_template
+from repro.errors import DistributionError
+from repro.icomm import ICBlockDescriptor, ICExplicitDescriptor
+from repro.util.regions import Region
+
+
+class TestBlockDescriptor:
+    def test_from_template(self):
+        d = ICBlockDescriptor.from_template(block_template((8, 8), (2, 2)))
+        assert d.nranks == 4
+        assert d.storage == "replicated"
+
+    def test_replicated_entries_same_everywhere(self):
+        d = ICBlockDescriptor.from_template(block_template((100, 100), (2, 2)))
+        entries = [d.per_rank_entries(r) for r in range(4)]
+        assert len(set(entries)) == 1
+        # 4 patches x (lo+hi per 2 axes + rank) = 4 x 5
+        assert entries[0] == 20
+
+    def test_entries_independent_of_element_count(self):
+        small = ICBlockDescriptor.from_template(block_template((8, 8), (2, 2)))
+        large = ICBlockDescriptor.from_template(
+            block_template((800, 800), (2, 2)))
+        assert small.per_rank_entries(0) == large.per_rank_entries(0)
+
+    def test_explicit_patches(self):
+        d = ICBlockDescriptor((4, 4), [
+            (0, Region((0, 0), (2, 4))),
+            (1, Region((2, 0), (4, 4))),
+        ])
+        assert d.descriptor().local_volume(0) == 8
+
+
+class TestExplicitDescriptor:
+    def test_partitioned_entries_match_ownership(self):
+        owners = np.array([0, 1, 1, 0, 2, 2, 2, 0])
+        d = ICExplicitDescriptor(owners)
+        assert d.storage == "partitioned"
+        assert d.per_rank_entries(0) == 3
+        assert d.per_rank_entries(1) == 2
+        assert d.per_rank_entries(2) == 3
+        # partitioned total equals element count
+        assert sum(d.per_rank_entries(r) for r in range(3)) == 8
+
+    def test_entries_scale_with_elements(self):
+        small = ICExplicitDescriptor(np.arange(10) % 2)
+        large = ICExplicitDescriptor(np.arange(1000) % 2)
+        assert large.per_rank_entries(0) > small.per_rank_entries(0)
+
+    def test_descriptor_usable_for_schedules(self):
+        from repro.schedule import build_region_schedule
+
+        owners = np.array([0, 1, 0, 1, 0, 1])
+        src = ICExplicitDescriptor(owners).descriptor()
+        dst = ICBlockDescriptor.from_template(
+            block_template((6,), (2,))).descriptor()
+        sched = build_region_schedule(src, dst)
+        sched.validate(src, dst)
+
+    def test_bad_rank(self):
+        d = ICExplicitDescriptor([0, 0, 1])
+        with pytest.raises(DistributionError):
+            d.per_rank_entries(5)

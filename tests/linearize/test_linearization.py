@@ -1,0 +1,126 @@
+"""Dense linearization tests: runs, extraction, injection."""
+
+import numpy as np
+import pytest
+
+from repro.dad import (
+    BlockCyclic,
+    CartesianTemplate,
+    Cyclic,
+    DistArrayDescriptor,
+    DistributedArray,
+)
+from repro.dad.template import block_template
+from repro.errors import DistributionError
+from repro.linearize import DenseLinearization, Run
+from repro.linearize.linearization import coalesce_runs
+
+
+class TestRun:
+    def test_intersect(self):
+        assert Run(0, 5).intersect(Run(3, 8)) == Run(3, 5)
+        assert Run(0, 3).intersect(Run(3, 8)) is None
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            Run(5, 2)
+
+    def test_coalesce(self):
+        runs = [Run(5, 7), Run(0, 2), Run(2, 5), Run(9, 10)]
+        assert coalesce_runs(runs) == [Run(0, 7), Run(9, 10)]
+
+    def test_coalesce_empty(self):
+        assert coalesce_runs([]) == []
+
+
+class TestDenseLinearizationRuns:
+    def test_1d_block(self):
+        desc = DistArrayDescriptor(block_template((10,), (2,)))
+        lin = DenseLinearization(desc)
+        assert lin.total == 10
+        assert lin.runs(0) == [Run(0, 5)]
+        assert lin.runs(1) == [Run(5, 10)]
+
+    def test_2d_row_block_single_run(self):
+        """Row-wise blocks of a C-ordered array are contiguous."""
+        desc = DistArrayDescriptor(block_template((4, 6), (2, 1)))
+        lin = DenseLinearization(desc)
+        assert lin.runs(0) == [Run(0, 12)]
+        assert lin.runs(1) == [Run(12, 24)]
+
+    def test_2d_col_block_run_per_row(self):
+        """Column-wise blocks fragment into one run per row."""
+        desc = DistArrayDescriptor(block_template((4, 6), (1, 2)))
+        lin = DenseLinearization(desc)
+        assert lin.runs(0) == [Run(0, 3), Run(6, 9), Run(12, 15), Run(18, 21)]
+        assert len(lin.runs(1)) == 4
+
+    def test_cyclic_fragments_fully(self):
+        desc = DistArrayDescriptor(
+            CartesianTemplate([Cyclic(8, 2)]))
+        lin = DenseLinearization(desc)
+        assert len(lin.runs(0)) == 4  # every other element
+
+    def test_partition_property(self):
+        for template in [
+            block_template((6, 6), (2, 3)),
+            CartesianTemplate([BlockCyclic(9, 2, 2), Cyclic(5, 3)]),
+        ]:
+            lin = DenseLinearization(DistArrayDescriptor(template))
+            lin.validate_partition()
+
+    def test_descriptor_entries_reflect_fragmentation(self):
+        compact = DenseLinearization(
+            DistArrayDescriptor(block_template((16, 16), (4, 1))))
+        fragmented = DenseLinearization(
+            DistArrayDescriptor(block_template((16, 16), (1, 4))))
+        assert compact.descriptor_entries() < fragmented.descriptor_entries()
+
+
+class TestExtractInject:
+    def _make(self, template, rank, fill):
+        desc = DistArrayDescriptor(template, np.float64)
+        g = np.asarray(fill, dtype=np.float64)
+        da = DistributedArray.from_global(desc, rank, g)
+        return DenseLinearization(desc), da
+
+    def test_extract_matches_global_flat(self):
+        g = np.arange(24.0).reshape(4, 6)
+        t = block_template((4, 6), (2, 2))
+        for rank in range(4):
+            lin, da = self._make(t, rank, g)
+            for run in lin.runs(rank):
+                np.testing.assert_array_equal(
+                    lin.extract(rank, run, da),
+                    g.reshape(-1)[run.lo:run.hi])
+
+    def test_extract_sub_run(self):
+        g = np.arange(24.0).reshape(4, 6)
+        t = block_template((4, 6), (2, 1))
+        lin, da = self._make(t, 0, g)
+        # rank 0 owns linear [0, 12); ask for an interior slice
+        np.testing.assert_array_equal(
+            lin.extract(0, Run(3, 9), da), g.reshape(-1)[3:9])
+
+    def test_inject_roundtrip(self):
+        g = np.arange(36.0).reshape(6, 6)
+        t = CartesianTemplate([BlockCyclic(6, 2, 2), BlockCyclic(6, 3, 1)])
+        desc = DistArrayDescriptor(t, np.float64)
+        lin = DenseLinearization(desc)
+        for rank in range(t.nranks):
+            da = DistributedArray.allocate(desc, rank)
+            for run in lin.runs(rank):
+                lin.inject(rank, run, g.reshape(-1)[run.lo:run.hi], da)
+            src = DistributedArray.from_global(desc, rank, g)
+            for (r1, a1), (r2, a2) in zip(da.iter_patches(),
+                                          src.iter_patches()):
+                assert r1 == r2
+                np.testing.assert_array_equal(a1, a2)
+
+    def test_extract_unowned_raises(self):
+        g = np.zeros((4, 4))
+        t = block_template((4, 4), (2, 1))
+        lin, da = self._make(t, 0, g)
+        from repro.errors import ScheduleError
+        with pytest.raises(ScheduleError):
+            lin.extract(0, Run(0, 16), da)  # rank 0 owns only [0, 8)

@@ -1,0 +1,128 @@
+"""Sparse-matrix interpolation tests: parallel SpMM halo exchange."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MCTError
+from repro.mct import (
+    AttrVect,
+    GlobalSegMap,
+    InterpolationScheduler,
+    SparseMatrix,
+)
+from repro.simmpi import run_spmd
+
+
+def linear_interp_matrix(n_src, n_dst):
+    """Global COO for 1-D linear interpolation src -> dst grids on [0,1]."""
+    rows, cols, vals = [], [], []
+    xs = np.linspace(0.0, 1.0, n_src)
+    xd = np.linspace(0.0, 1.0, n_dst)
+    for i, x in enumerate(xd):
+        j = min(int(x * (n_src - 1)), n_src - 2)
+        t = (x - xs[j]) / (xs[j + 1] - xs[j])
+        rows += [i, i]
+        cols += [j, j + 1]
+        vals += [1.0 - t, t]
+    return np.array(rows), np.array(cols), np.array(vals)
+
+
+def run_interp(nprocs, n_src, n_dst, fused=True, fieldmaker=None):
+    rows, cols, vals = linear_interp_matrix(n_src, n_dst)
+
+    def main(comm):
+        src_gsmap = GlobalSegMap.block(n_src, comm.size)
+        dst_gsmap = GlobalSegMap.block(n_dst, comm.size)
+        pe = comm.rank
+        mine = np.isin(rows, dst_gsmap.global_indices(pe))
+        matrix = SparseMatrix(n_dst, n_src, rows[mine], cols[mine],
+                              vals[mine], dst_gsmap, pe)
+        sched = InterpolationScheduler(comm, matrix, src_gsmap)
+        gidx = src_gsmap.global_indices(pe)
+        xs = np.linspace(0.0, 1.0, n_src)[gidx]
+        fields = fieldmaker(xs) if fieldmaker else {
+            "f": 2 * xs + 1, "g": -xs}
+        x_av = AttrVect.from_arrays(fields)
+        y_av = sched.apply(comm, x_av, fused=fused)
+        return dst_gsmap.global_indices(pe), y_av
+
+    return run_spmd(nprocs, main)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3])
+def test_linear_function_interpolated_exactly(nprocs):
+    """Linear interpolation reproduces affine fields exactly."""
+    n_src, n_dst = 16, 29
+    results = run_interp(nprocs, n_src, n_dst)
+    xd = np.linspace(0.0, 1.0, n_dst)
+    for gidx, y_av in results:
+        np.testing.assert_allclose(y_av["f"], 2 * xd[gidx] + 1, atol=1e-12)
+        np.testing.assert_allclose(y_av["g"], -xd[gidx], atol=1e-12)
+
+
+def test_fused_matches_per_field():
+    a = run_interp(2, 10, 17, fused=True)
+    b = run_interp(2, 10, 17, fused=False)
+    for (_, ya), (_, yb) in zip(a, b):
+        np.testing.assert_array_equal(ya.data, yb.data)
+
+
+def test_matrix_row_ownership_enforced():
+    def main(comm):
+        gsmap = GlobalSegMap.block(4, 2)
+        # rank 0 owns rows 0-1; row 3 is foreign
+        with pytest.raises(MCTError):
+            SparseMatrix(4, 4, [3], [0], [1.0], gsmap, pe=0)
+        return True
+
+    assert all(run_spmd(1, main))
+
+
+def test_matrix_bounds_checked():
+    gsmap = GlobalSegMap.block(4, 1)
+    with pytest.raises(MCTError):
+        SparseMatrix(4, 4, [0], [9], [1.0], gsmap, pe=0)
+    with pytest.raises(MCTError):
+        SparseMatrix(4, 4, [9], [0], [1.0], gsmap, pe=0)
+
+
+def test_scheduler_validates_gsmap():
+    def main(comm):
+        dst = GlobalSegMap.block(4, 1)
+        m = SparseMatrix(4, 8, [0], [0], [1.0], dst, pe=0)
+        wrong = GlobalSegMap.block(5, 1)
+        with pytest.raises(MCTError):
+            InterpolationScheduler(comm, m, wrong)
+        return True
+
+    assert all(run_spmd(1, main))
+
+
+def test_conservation_of_sums():
+    """A row-stochastic averaging matrix conserves weighted integrals."""
+    n_src, n_dst = 12, 6
+
+    def main(comm):
+        src_gsmap = GlobalSegMap.block(n_src, comm.size)
+        dst_gsmap = GlobalSegMap.block(n_dst, comm.size)
+        pe = comm.rank
+        # dst cell i averages src cells 2i and 2i+1
+        rows, cols, vals = [], [], []
+        for i in dst_gsmap.global_indices(pe):
+            rows += [i, i]
+            cols += [2 * i, 2 * i + 1]
+            vals += [0.5, 0.5]
+        matrix = SparseMatrix(n_dst, n_src, rows, cols, vals, dst_gsmap, pe)
+        sched = InterpolationScheduler(comm, matrix, src_gsmap)
+        gidx = src_gsmap.global_indices(pe)
+        x_av = AttrVect.from_arrays({"flux": gidx.astype(float)})
+        y_av = sched.apply(comm, x_av)
+        from repro.mct import paired_integrals
+        # src weight 1, dst weight 2 (each dst cell covers two src cells)
+        pairs = paired_integrals(
+            comm, x_av, np.ones(x_av.lsize),
+            y_av, 2 * np.ones(y_av.lsize))
+        return pairs["flux"]
+
+    for src_int, dst_int in run_spmd(2, main):
+        assert src_int == pytest.approx(dst_int)

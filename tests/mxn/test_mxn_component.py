@@ -1,0 +1,243 @@
+"""M×N component tests: registration, connections, dataReady protocol."""
+
+import numpy as np
+import pytest
+
+from repro.dad import AccessMode, DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.errors import ConnectionError_, RegistrationError, SpmdError
+from repro.mxn import ConnectionKind, ConnectionSpec, MxNComponent
+from repro.simmpi import NameService, run_coupled, run_spmd
+
+SHAPE = (8, 6)
+G = np.arange(48.0).reshape(SHAPE)
+
+
+def make_sides(m, n):
+    src_desc = DistArrayDescriptor(block_template(SHAPE, (m, 1)), G.dtype)
+    dst_desc = DistArrayDescriptor(block_template(SHAPE, (1, n)), G.dtype)
+    return src_desc, dst_desc
+
+
+class TestRegistration:
+    def test_register_and_query(self):
+        def main(comm):
+            desc = DistArrayDescriptor(block_template(SHAPE, (2, 1)), G.dtype)
+            mxn = MxNComponent(comm)
+            da = DistributedArray.from_global(desc, comm.rank, G)
+            mxn.register("temperature", da, AccessMode.READ)
+            assert mxn.field_names() == ["temperature"]
+            assert mxn.descriptor("temperature").shape == SHAPE
+            return True
+
+        assert all(run_spmd(2, main))
+
+    def test_duplicate_rejected(self):
+        def main(comm):
+            desc = DistArrayDescriptor(block_template(SHAPE, (1, 1)), G.dtype)
+            mxn = MxNComponent(comm)
+            da = DistributedArray.allocate(desc, 0)
+            mxn.register("f", da)
+            with pytest.raises(RegistrationError):
+                mxn.register("f", da)
+            return True
+
+        assert all(run_spmd(1, main))
+
+    def test_wrong_rank_storage_rejected(self):
+        def main(comm):
+            desc = DistArrayDescriptor(block_template(SHAPE, (2, 1)), G.dtype)
+            mxn = MxNComponent(comm)
+            da = DistributedArray.allocate(desc, 1 - comm.rank)
+            with pytest.raises(RegistrationError):
+                mxn.register("f", da)
+            return True
+
+        assert all(run_spmd(2, main))
+
+    def test_unregister(self):
+        def main(comm):
+            desc = DistArrayDescriptor(block_template(SHAPE, (1, 1)), G.dtype)
+            mxn = MxNComponent(comm)
+            mxn.register("f", DistributedArray.allocate(desc, 0))
+            mxn.unregister("f")
+            assert mxn.field_names() == []
+            with pytest.raises(RegistrationError):
+                mxn.unregister("f")
+            return True
+
+        assert all(run_spmd(1, main))
+
+
+def run_transfer(m, n, kind=ConnectionKind.ONE_SHOT, period=1, cycles=1,
+                 src_mode=AccessMode.READ, dst_mode=AccessMode.WRITE):
+    src_desc, dst_desc = make_sides(m, n)
+    ns = NameService()
+
+    def source(comm):
+        inter = ns.accept("mxn", comm)
+        mxn = MxNComponent(comm)
+        da = DistributedArray.from_global(src_desc, comm.rank, G)
+        mxn.register("field", da, src_mode)
+        conn = mxn.connect(inter, "source", "field", kind, period)
+        fired = []
+        for c in range(cycles):
+            # evolve the data each cycle so transfers are distinguishable
+            for _, arr in da.iter_patches():
+                arr += 0 if c == 0 else 1000
+            fired.append(conn.data_ready())
+        return fired, comm.counters.snapshot()
+
+    def dest(comm):
+        inter = ns.connect("mxn", comm)
+        mxn = MxNComponent(comm)
+        da = DistributedArray.allocate(dst_desc, comm.rank)
+        mxn.register("field", da, dst_mode)
+        conn = mxn.connect(inter, "destination", "field", kind, period)
+        snapshots = []
+        for c in range(cycles):
+            if conn.data_ready():
+                snapshots.append(
+                    {r: a.copy() for r, a in da.iter_patches()})
+        return da, snapshots
+
+    out = run_coupled([("src", m, source, ()), ("dst", n, dest, ())])
+    return out
+
+
+class TestOneShot:
+    @pytest.mark.parametrize("m,n", [(2, 3), (4, 2), (1, 4), (3, 1)])
+    def test_transfer_correct(self, m, n):
+        out = run_transfer(m, n)
+        parts = [r[0] for r in out["dst"]]
+        np.testing.assert_array_equal(DistributedArray.assemble(parts), G)
+
+    def test_one_shot_cannot_repeat(self):
+        with pytest.raises(SpmdError):
+            run_transfer(2, 2, cycles=2)
+
+    def test_no_barriers_used(self):
+        """§4.1: 'no additional synchronization barriers are required'."""
+        out = run_transfer(3, 2)
+        src_counters = out["src"][0][1]
+        assert src_counters.get("barriers", 0) == 0
+
+
+class TestPersistent:
+    def test_periodic_fires_on_period(self):
+        out = run_transfer(2, 2, kind=ConnectionKind.PERSISTENT,
+                           period=3, cycles=7)
+        fired = out["src"][0][0]
+        assert fired == [True, False, False, True, False, False, True]
+
+    def test_updates_propagate(self):
+        out = run_transfer(2, 2, kind=ConnectionKind.PERSISTENT,
+                           period=1, cycles=3)
+        _, snapshots = out["dst"][0]
+        assert len(snapshots) == 3
+        # source added 1000 per cycle after the first
+        first = next(iter(snapshots[0].values()))
+        last = next(iter(snapshots[2].values()))
+        np.testing.assert_array_equal(last, first + 2000)
+
+
+class TestAccessModes:
+    def test_read_only_field_cannot_be_destination(self):
+        with pytest.raises(SpmdError) as exc_info:
+            run_transfer(1, 1, dst_mode=AccessMode.READ)
+        assert any(isinstance(e, ConnectionError_)
+                   for e in exc_info.value.failures.values())
+
+    def test_write_only_field_cannot_be_source(self):
+        with pytest.raises(SpmdError):
+            run_transfer(1, 1, src_mode=AccessMode.WRITE)
+
+
+class TestThirdParty:
+    def test_spec_built_without_either_side(self):
+        """A third party builds the connection from descriptors alone."""
+        m, n = 2, 3
+        src_desc, dst_desc = make_sides(m, n)
+        spec = ConnectionSpec(src_desc, dst_desc,
+                              ConnectionKind.ONE_SHOT, connection_id=7)
+        ns = NameService()
+
+        def source(comm):
+            inter = ns.accept("tp", comm)
+            mxn = MxNComponent(comm)
+            mxn.register("f", DistributedArray.from_global(
+                src_desc, comm.rank, G))
+            conn = mxn.connect_with_spec(inter, "source", "f", spec)
+            conn.data_ready()
+            return True
+
+        def dest(comm):
+            inter = ns.connect("tp", comm)
+            mxn = MxNComponent(comm)
+            da = DistributedArray.allocate(dst_desc, comm.rank)
+            mxn.register("f", da)
+            conn = mxn.connect_with_spec(inter, "destination", "f", spec)
+            conn.data_ready()
+            return da
+
+        out = run_coupled([("src", m, source, ()), ("dst", n, dest, ())])
+        np.testing.assert_array_equal(
+            DistributedArray.assemble(out["dst"]), G)
+
+    def test_spec_mismatch_rejected(self):
+        src_desc, dst_desc = make_sides(1, 1)
+        other_desc = DistArrayDescriptor(
+            block_template(SHAPE, (1, 1)), np.float32)
+        spec = ConnectionSpec(other_desc, dst_desc)
+        ns = NameService()
+
+        def source(comm):
+            inter = ns.accept("mm", comm)
+            mxn = MxNComponent(comm)
+            mxn.register("f", DistributedArray.from_global(
+                src_desc, comm.rank, G))
+            with pytest.raises(ConnectionError_):
+                mxn.connect_with_spec(inter, "source", "f", spec)
+            return True
+
+        def dest(comm):
+            ns.connect("mm", comm)
+            return True
+
+        out = run_coupled([("src", 1, source, ()), ("dst", 1, dest, ())])
+        assert all(out["src"])
+
+    def test_spec_validates_parameters(self):
+        src_desc, dst_desc = make_sides(1, 1)
+        with pytest.raises(ConnectionError_):
+            ConnectionSpec(src_desc, dst_desc, period=0)
+        bad_desc = DistArrayDescriptor(block_template((3, 3), (1, 1)))
+        with pytest.raises(ConnectionError_):
+            ConnectionSpec(src_desc, bad_desc)
+
+
+def test_connection_parameter_mismatch_detected():
+    src_desc, dst_desc = make_sides(1, 1)
+    ns = NameService()
+
+    def source(comm):
+        inter = ns.accept("pm", comm)
+        mxn = MxNComponent(comm)
+        mxn.register("f", DistributedArray.from_global(src_desc, 0, G))
+        with pytest.raises(ConnectionError_):
+            mxn.connect(inter, "source", "f", ConnectionKind.ONE_SHOT)
+        return True
+
+    def dest(comm):
+        inter = ns.connect("pm", comm)
+        mxn = MxNComponent(comm)
+        mxn.register("f", DistributedArray.allocate(dst_desc, 0))
+        try:
+            mxn.connect(inter, "destination", "f",
+                        ConnectionKind.PERSISTENT, period=5)
+        except ConnectionError_:
+            pass
+        return True
+
+    out = run_coupled([("src", 1, source, ()), ("dst", 1, dest, ())])
+    assert all(out["src"]) and all(out["dst"])

@@ -1,0 +1,171 @@
+"""Pipeline execution and super-component fusion tests."""
+
+import numpy as np
+import pytest
+
+from repro.dad import DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.errors import ScheduleError
+from repro.pipeline import (
+    AffineFilter,
+    ClampFilter,
+    FilterStage,
+    Pipeline,
+    PipelineMetrics,
+    RedistributeStage,
+    UnitConversion,
+)
+from repro.simmpi import run_spmd
+
+SHAPE = (12, 8)
+
+
+def descs():
+    a = DistArrayDescriptor(block_template(SHAPE, (2, 1)), np.float64)
+    b = DistArrayDescriptor(block_template(SHAPE, (1, 3)), np.float64)
+    c = DistArrayDescriptor(block_template(SHAPE, (3, 2)), np.float64)
+    return a, b, c
+
+
+def run_pipeline(pipeline, g, *, fused=False):
+    runner = pipeline.fuse() if fused else pipeline
+    n = max(pipeline.max_nranks, runner.max_nranks)
+    metrics_box = {}
+
+    def main(comm):
+        src = (DistributedArray.from_global(
+            pipeline.src_descriptor, comm.rank, g)
+            if comm.rank < pipeline.src_descriptor.nranks else None)
+        metrics = PipelineMetrics()
+        out = runner.run(comm, src, metrics)
+        metrics_box[comm.rank] = metrics
+        return out
+
+    parts = [p for p in run_spmd(n, main) if p is not None]
+    return DistributedArray.assemble(parts), metrics_box[0]
+
+
+class TestNaiveExecution:
+    def test_redistribute_only(self):
+        a, b, _ = descs()
+        g = np.arange(96.0).reshape(SHAPE)
+        out, metrics = run_pipeline(
+            Pipeline(a, [RedistributeStage(b)]), g)
+        np.testing.assert_array_equal(out, g)
+        assert metrics.schedules_executed == 1
+
+    def test_filter_only(self):
+        a, _, _ = descs()
+        g = np.arange(96.0).reshape(SHAPE)
+        out, _ = run_pipeline(
+            Pipeline(a, [FilterStage(AffineFilter(2.0, 1.0))]), g)
+        np.testing.assert_array_equal(out, 2 * g + 1)
+
+    def test_mixed_chain(self):
+        a, b, c = descs()
+        g = np.linspace(-50.0, 150.0, 96).reshape(SHAPE)
+        pipe = Pipeline(a, [
+            FilterStage(UnitConversion("celsius", "kelvin")),
+            RedistributeStage(b),
+            FilterStage(ClampFilter(lo=273.15)),   # freeze floor
+            RedistributeStage(c),
+        ])
+        out, metrics = run_pipeline(pipe, g)
+        expected = np.clip(g + 273.15, 273.15, None)
+        np.testing.assert_allclose(out, expected)
+        assert metrics.schedules_executed == 2
+        assert metrics.filter_passes == 2
+
+    def test_output_descriptor(self):
+        a, b, c = descs()
+        pipe = Pipeline(a, [RedistributeStage(b), RedistributeStage(c)])
+        assert pipe.output_descriptor is c
+
+    def test_shape_mismatch_rejected(self):
+        a, _, _ = descs()
+        bad = DistArrayDescriptor(block_template((5, 5), (1, 1)))
+        with pytest.raises(ScheduleError):
+            Pipeline(a, [RedistributeStage(bad)])
+
+    def test_insufficient_ranks(self):
+        a, b, _ = descs()
+        pipe = Pipeline(a, [RedistributeStage(b)])
+
+        def main(comm):
+            with pytest.raises(ScheduleError):
+                pipe.run(comm, None)
+            return True
+
+        assert all(run_spmd(1, main))
+
+
+class TestFusion:
+    def test_fused_matches_naive(self):
+        a, b, c = descs()
+        g = np.linspace(-10.0, 10.0, 96).reshape(SHAPE)
+        pipe = Pipeline(a, [
+            FilterStage(AffineFilter(2.0, 0.0)),
+            RedistributeStage(b),
+            FilterStage(AffineFilter(1.0, 5.0)),
+            RedistributeStage(c),
+            FilterStage(ClampFilter(hi=20.0)),
+        ])
+        naive_out, naive_m = run_pipeline(pipe, g)
+        fused_out, fused_m = run_pipeline(pipe, g, fused=True)
+        np.testing.assert_allclose(fused_out, naive_out)
+        # Super-component: one schedule instead of two, fewer passes.
+        assert naive_m.schedules_executed == 2
+        assert fused_m.schedules_executed == 1
+        assert fused_m.elements_moved < naive_m.elements_moved
+        assert fused_m.arrays_allocated < naive_m.arrays_allocated
+
+    def test_affine_filters_compose(self):
+        a, _, _ = descs()
+        pipe = Pipeline(a, [
+            FilterStage(AffineFilter(2.0, 1.0)),
+            FilterStage(AffineFilter(3.0, 0.0)),
+            FilterStage(AffineFilter(1.0, -1.0)),
+        ])
+        fused = pipe.fuse()
+        assert len(fused.filters) == 1     # 3 affine filters -> 1
+        g = np.arange(96.0).reshape(SHAPE)
+        out, _ = run_pipeline(pipe, g, fused=True)
+        np.testing.assert_allclose(out, 3 * (2 * g + 1) - 1)
+
+    def test_non_composable_filters_kept_in_order(self):
+        a, _, _ = descs()
+        pipe = Pipeline(a, [
+            FilterStage(AffineFilter(-1.0, 0.0)),   # negate
+            FilterStage(ClampFilter(lo=0.0)),       # then clamp
+        ])
+        fused = pipe.fuse()
+        assert len(fused.filters) == 2
+        g = np.linspace(-3.0, 3.0, 96).reshape(SHAPE)
+        out, _ = run_pipeline(pipe, g, fused=True)
+        np.testing.assert_allclose(out, np.clip(-g, 0.0, None))
+
+    def test_identity_fusion_moves_nothing(self):
+        a, b, _ = descs()
+        # a -> b -> a : fused pipeline recognizes no net redistribution
+        pipe = Pipeline(a, [RedistributeStage(b), RedistributeStage(a)])
+        fused = pipe.fuse()
+        g = np.arange(96.0).reshape(SHAPE)
+        out, metrics = run_pipeline(pipe, g, fused=True)
+        np.testing.assert_array_equal(out, g)
+        assert metrics.schedules_executed == 0
+        assert metrics.elements_moved == 0
+
+    def test_redistributions_collapse(self):
+        a, b, c = descs()
+        pipe = Pipeline(a, [
+            RedistributeStage(b),
+            RedistributeStage(c),
+            RedistributeStage(b),
+            RedistributeStage(c),
+        ])
+        g = np.arange(96.0).reshape(SHAPE)
+        naive_out, naive_m = run_pipeline(pipe, g)
+        fused_out, fused_m = run_pipeline(pipe, g, fused=True)
+        np.testing.assert_array_equal(naive_out, fused_out)
+        assert naive_m.elements_moved == 4 * g.size
+        assert fused_m.elements_moved == g.size

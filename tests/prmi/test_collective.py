@@ -1,0 +1,223 @@
+"""Collective PRMI tests: M×N invocation with ghost bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cca.sidl import arg, method, port
+from repro.errors import SpmdError
+from repro.prmi import CalleeEndpoint, CallerEndpoint
+from repro.simmpi import NameService, run_coupled
+
+CALC_PORT = port(
+    "CalcPort",
+    method("double_it", arg("x")),
+    method("rank_echo"),
+    method("notify", arg("msg"), oneway=True, returns=False),
+)
+
+
+class CalcImpl:
+    def __init__(self, comm):
+        self.comm = comm
+        self.notifications = []
+
+    def double_it(self, x):
+        return 2 * x
+
+    def rank_echo(self):
+        return self.comm.rank
+
+    def notify(self, msg):
+        self.notifications.append(msg)
+        return None
+
+
+def run_mxn(m, n, caller_fn, callee_fn):
+    ns = NameService()
+
+    def caller(comm):
+        inter = ns.connect("port", comm)
+        ep = CallerEndpoint(comm, inter, CALC_PORT)
+        return caller_fn(ep, comm)
+
+    def callee(comm):
+        inter = ns.accept("port", comm)
+        impl = CalcImpl(comm)
+        ep = CalleeEndpoint(comm, inter, CALC_PORT, impl)
+        return callee_fn(ep, comm, impl)
+
+    return run_coupled([
+        ("callee", n, callee, ()),
+        ("caller", m, caller, ()),
+    ])
+
+
+@pytest.mark.parametrize("m,n", [(2, 2), (1, 3), (3, 1), (2, 5), (5, 2)])
+def test_collective_call_all_shapes(m, n):
+    """§4.2: works 'regardless of the different numbers of processes with
+    which each component may be instantiated'."""
+    def caller_fn(ep, comm):
+        return ep.invoke("double_it", x=21)
+
+    def callee_fn(ep, comm, impl):
+        ep.serve_one()
+        return ep.stats
+
+    out = run_mxn(m, n, caller_fn, callee_fn)
+    # "all callers will receive a return value"
+    assert out["caller"] == [42] * m
+
+
+def test_ghost_invocations_when_n_exceeds_m():
+    def caller_fn(ep, comm):
+        ep.invoke("double_it", x=1)
+        return ep.stats.ghost_invocations
+
+    def callee_fn(ep, comm, impl):
+        ep.serve_one()
+        return ep.stats.merged_invocations
+
+    out = run_mxn(2, 5, caller_fn, callee_fn)
+    # 5 callees served by 2 callers: fan-outs of 3 and 2 -> 2 + 1 ghosts
+    assert sum(out["caller"]) == 3
+    assert sum(out["callee"]) == 0
+
+
+def test_merged_invocations_and_ghost_returns_when_m_exceeds_n():
+    def caller_fn(ep, comm):
+        return ep.invoke("rank_echo")
+
+    def callee_fn(ep, comm, impl):
+        ep.serve_one()
+        return (ep.stats.merged_invocations, ep.stats.ghost_returns)
+
+    out = run_mxn(5, 2, caller_fn, callee_fn)
+    # callee 0 merges callers {0,2,4} (2 ghosts in, 2 ghost returns)
+    merged = [r[0] for r in out["callee"]]
+    ghosts = [r[1] for r in out["callee"]]
+    assert sum(merged) == 3  # 5 invocations merged into 2 services
+    assert sum(ghosts) == 3  # 5 returns from 2 services
+    # every caller got the return from callee (rank % 2)
+    assert out["caller"] == [0, 1, 0, 1, 0]
+
+
+def test_consecutive_calls_preserve_order():
+    def caller_fn(ep, comm):
+        return [ep.invoke("double_it", x=i) for i in range(5)]
+
+    def callee_fn(ep, comm, impl):
+        return [ep.serve_one() for _ in range(5)]
+
+    out = run_mxn(3, 2, caller_fn, callee_fn)
+    assert all(r == [0, 2, 4, 6, 8] for r in out["caller"])
+
+
+def test_oneway_does_not_block():
+    """One-way methods: 'the calling component continues execution
+    immediately' — the caller finishes even before the callee serves."""
+    import threading
+    served = threading.Event()
+
+    def caller_fn(ep, comm):
+        ep.invoke("notify", msg=f"hello")
+        # no recv happened; we return before the callee even starts
+        return served.is_set()
+
+    def callee_fn(ep, comm, impl):
+        # deliberately delay servicing until callers have returned
+        import time
+        time.sleep(0.3)
+        served.set()
+        ep.serve_one()
+        return impl.notifications
+
+    out = run_mxn(2, 1, caller_fn, callee_fn)
+    assert out["caller"] == [False, False]
+    assert out["callee"][0] == ["hello"]
+
+
+def test_wrong_arguments_rejected():
+    def caller_fn(ep, comm):
+        from repro.errors import PRMIError
+        with pytest.raises(PRMIError):
+            ep.invoke("double_it", y=1)
+        ep.invoke("double_it", x=1)  # keep protocol in sync
+        return True
+
+    def callee_fn(ep, comm, impl):
+        ep.serve_one()
+        return True
+
+    out = run_mxn(1, 1, caller_fn, callee_fn)
+    assert out["caller"] == [True]
+
+
+def test_simple_arg_verification_catches_divergence():
+    ns = NameService()
+
+    def caller(comm):
+        inter = ns.connect("port", comm)
+        ep = CallerEndpoint(comm, inter, CALC_PORT, verify_simple=True)
+        ep.invoke("double_it", x=comm.rank)  # diverging simple arg!
+
+    def callee(comm):
+        inter = ns.accept("port", comm)
+        ep = CalleeEndpoint(comm, inter, CALC_PORT, CalcImpl(comm))
+        ep.serve_one()
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_coupled([("callee", 1, callee, ()), ("caller", 2, caller, ())],
+                    deadlock_timeout=2.0)
+    from repro.errors import SimpleArgumentMismatch
+    assert any(isinstance(e, SimpleArgumentMismatch)
+               for e in exc_info.value.failures.values())
+
+
+def test_independent_invocation():
+    IND_PORT = port("Ind", method("poke", arg("v"), invocation="independent"))
+
+    ns = NameService()
+
+    class Impl:
+        def __init__(self):
+            self.pokes = []
+
+        def poke(self, v):
+            self.pokes.append(v)
+            return v + 100
+
+    def caller(comm):
+        inter = ns.connect("ind", comm)
+        ep = CallerEndpoint(comm, inter, IND_PORT)
+        # each caller rank pokes callee rank (rank % 2) independently
+        return ep.invoke_independent("poke", comm.rank % 2, v=comm.rank)
+
+    def callee(comm):
+        inter = ns.accept("ind", comm)
+        impl = Impl()
+        ep = CalleeEndpoint(comm, inter, IND_PORT, impl)
+        # callee 0 serves callers 0 and 2; callee 1 serves caller 1
+        count = 2 if comm.rank == 0 else 1
+        for _ in range(count):
+            ep.serve_independent()
+        return sorted(impl.pokes)
+
+    out = run_coupled([("callee", 2, callee, ()), ("caller", 3, caller, ())])
+    assert out["caller"] == [100, 101, 102]
+    assert out["callee"][0] == [0, 2]
+    assert out["callee"][1] == [1]
+
+
+def test_independent_call_on_collective_method_rejected():
+    def caller_fn(ep, comm):
+        from repro.errors import PRMIError
+        with pytest.raises(PRMIError):
+            ep.invoke_independent("double_it", 0, x=1)
+        ep.invoke("double_it", x=1)
+        return True
+
+    def callee_fn(ep, comm, impl):
+        ep.serve_one()
+        return True
+
+    run_mxn(1, 1, caller_fn, callee_fn)

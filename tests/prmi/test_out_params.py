@@ -1,0 +1,123 @@
+"""Out/inout parameter tests: results flow back as declared."""
+
+import pytest
+
+from repro.cca.sidl import arg, method, port
+from repro.errors import PRMIError, SpmdError
+from repro.prmi import CalleeEndpoint, CallerEndpoint
+from repro.simmpi import NameService, run_coupled
+
+PORT = port(
+    "OutPort",
+    method("divide", arg("a"), arg("b"),
+           arg("quotient", mode="out"), arg("remainder", mode="out")),
+    method("normalize", arg("vec", mode="inout"), returns=False),
+    method("broken_out", arg("x", mode="out")),
+)
+
+
+class Impl:
+    def divide(self, a, b):
+        return {"return": True, "quotient": a // b, "remainder": a % b}
+
+    def normalize(self, vec):
+        total = sum(vec)
+        return {"vec": [v / total for v in vec]}
+
+    def broken_out(self, **kwargs):
+        return 42  # violates the contract: must be a dict
+
+
+def run_one(caller_fn, serve_count=1, m=2, n=1):
+    ns = NameService()
+
+    def caller(comm):
+        inter = ns.connect("op", comm)
+        ep = CallerEndpoint(comm, inter, PORT)
+        return caller_fn(ep, comm)
+
+    def callee(comm):
+        inter = ns.accept("op", comm)
+        ep = CalleeEndpoint(comm, inter, PORT, Impl())
+        for _ in range(serve_count):
+            ep.serve_one()
+        return True
+
+    return run_coupled([("callee", n, callee, ()), ("caller", m, caller, ())])
+
+
+def test_out_params_returned_as_dict():
+    def caller_fn(ep, comm):
+        return ep.invoke("divide", a=17, b=5)
+
+    out = run_one(caller_fn)
+    for result in out["caller"]:
+        assert result == {"return": True, "quotient": 3, "remainder": 2}
+
+
+def test_inout_without_return():
+    def caller_fn(ep, comm):
+        return ep.invoke("normalize", vec=[1.0, 3.0])
+
+    out = run_one(caller_fn)
+    for result in out["caller"]:
+        assert result == {"vec": [0.25, 0.75]}
+
+
+def test_contract_violation_detected():
+    def caller_fn(ep, comm):
+        ep.invoke("broken_out")
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_one(caller_fn)
+    assert any(isinstance(e, PRMIError)
+               for e in exc_info.value.failures.values())
+
+
+def test_parallel_out_rejected_at_declaration_time():
+    """Parallel out args are rejected when the method is serviced."""
+    P2 = port("P2", method("bad", arg("f", mode="out", kind="parallel")))
+
+    class Impl2:
+        def bad(self):
+            return {"return": None, "f": None}
+
+    ns = NameService()
+
+    def caller(comm):
+        inter = ns.connect("p2", comm)
+        ep = CallerEndpoint(comm, inter, P2)
+        ep.invoke("bad")
+
+    def callee(comm):
+        inter = ns.accept("p2", comm)
+        ep = CalleeEndpoint(comm, inter, P2, Impl2())
+        ep.serve_one()
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_coupled([("callee", 1, callee, ()), ("caller", 1, caller, ())])
+    assert any(isinstance(e, PRMIError)
+               for e in exc_info.value.failures.values())
+
+
+def test_out_params_via_independent_call():
+    IND = port("Ind", method("divide", arg("a"), arg("b"),
+                             arg("quotient", mode="out"),
+                             arg("remainder", mode="out"),
+                             invocation="independent"))
+    ns = NameService()
+
+    def caller(comm):
+        inter = ns.connect("ind", comm)
+        ep = CallerEndpoint(comm, inter, IND)
+        return ep.invoke_independent("divide", 0, a=10, b=3)
+
+    def callee(comm):
+        inter = ns.accept("ind", comm)
+        ep = CalleeEndpoint(comm, inter, IND, Impl())
+        ep.serve_independent()
+        return True
+
+    out = run_coupled([("callee", 1, callee, ()), ("caller", 1, caller, ())])
+    assert out["caller"][0] == {"return": True, "quotient": 3,
+                                "remainder": 1}

@@ -1,0 +1,225 @@
+"""Publish/subscribe (XChangemxn model) tests: dynamic membership and
+in-flight transformation."""
+
+import numpy as np
+import pytest
+
+from repro.dad import DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.pipeline import AffineFilter, UnitConversion
+from repro.pubsub import Publisher, Subscriber, SubscriptionBoard
+from repro.simmpi import NameService, run_coupled
+
+SHAPE = (8, 6)
+
+
+def descs(m, n):
+    return (DistArrayDescriptor(block_template(SHAPE, (m, 1))),
+            DistArrayDescriptor(block_template(SHAPE, (1, n))))
+
+
+def stamped(desc, rank, k):
+    return DistributedArray.from_function(
+        desc, rank, lambda i, j, k=k: 100.0 * k + 10 * i + j)
+
+
+def test_single_subscriber_stream():
+    src_desc, dst_desc = descs(2, 2)
+    ns, board = NameService(), SubscriptionBoard()
+    steps = 3
+
+    def publisher(comm):
+        pub = Publisher(comm, ns, board, "temp", src_desc)
+        # wait for the subscriber to register before the first publish
+        import time
+        while pub.comm.rank == 0 and not board.active("temp"):
+            time.sleep(0.01)
+        comm.barrier()
+        served = [pub.publish(stamped(src_desc, comm.rank, k))
+                  for k in range(steps)]
+        pub.close()
+        return served
+
+    def subscriber(comm):
+        sub = Subscriber(comm, ns, board, "temp", dst_desc)
+        frames = []
+        while True:
+            da = sub.receive()
+            if da is None:
+                break
+            frames.append(da)
+        return frames
+
+    out = run_coupled([("pub", 2, publisher, ()), ("sub", 2, subscriber, ())])
+    assert out["pub"][0] == [1, 1, 1]
+    frames0 = out["sub"][0]
+    assert len(frames0) == steps
+    for k in range(steps):
+        parts = [out["sub"][r][k] for r in range(2)]
+        expected = np.fromfunction(
+            lambda i, j: 100.0 * k + 10 * i + j, SHAPE)
+        np.testing.assert_array_equal(
+            DistributedArray.assemble(parts), expected)
+
+
+def test_dynamic_arrival_mid_stream():
+    """A subscriber that joins between publishes starts receiving at the
+    next publish — 'dynamic arrivals ... of components'."""
+    src_desc, dst_desc = descs(1, 1)
+    ns, board = NameService(), SubscriptionBoard()
+
+    def publisher(comm):
+        pub = Publisher(comm, ns, board, "t", src_desc)
+        import time
+        counts = []
+        for k in range(6):
+            # give the late subscriber a moment to register before k=3
+            time.sleep(0.05)
+            counts.append(pub.publish(stamped(src_desc, comm.rank, k)))
+        pub.close()
+        return counts
+
+    def late_subscriber(comm):
+        import time
+        time.sleep(0.12)  # join mid-stream
+        sub = Subscriber(comm, ns, board, "t", dst_desc)
+        first = sub.receive()
+        rest = []
+        while True:
+            da = sub.receive()
+            if da is None:
+                break
+            rest.append(da)
+        # the first frame we see is whatever publish came after we joined
+        first_stamp = float(first.get((0, 0))) // 100
+        return first_stamp, 1 + len(rest)
+
+    out = run_coupled([("pub", 1, publisher, ()),
+                       ("sub", 1, late_subscriber, ())])
+    counts = out["pub"][0]
+    first_stamp, received = out["sub"][0]
+    assert counts[0] == 0            # nobody listening at the start
+    assert counts[-1] == 1           # somebody listening at the end
+    assert received == sum(counts)   # got every publish after joining
+    assert first_stamp == counts.index(1)
+
+
+def test_graceful_departure():
+    """'dynamic ... departures of components': a leaver drains cleanly
+    and the publisher keeps serving the remaining subscriber."""
+    src_desc, dst_desc = descs(1, 1)
+    ns, board = NameService(), SubscriptionBoard()
+
+    def publisher(comm):
+        pub = Publisher(comm, ns, board, "t", src_desc)
+        import time
+        while not len(board.active("t")) == 2:
+            time.sleep(0.01)
+        counts = []
+        for k in range(4):
+            counts.append(pub.publish(stamped(src_desc, comm.rank, k)))
+            time.sleep(0.05)
+        pub.close()
+        return counts
+
+    def leaver(comm):
+        sub = Subscriber(comm, ns, board, "t", dst_desc)
+        got = sub.receive()
+        assert got is not None
+        sub.leave()   # drains whatever remains, ends on bye
+        return sub.received
+
+    def stayer(comm):
+        sub = Subscriber(comm, ns, board, "t", dst_desc)
+        frames = 0
+        while sub.receive() is not None:
+            frames += 1
+        return frames
+
+    out = run_coupled([
+        ("pub", 1, publisher, ()),
+        ("leaver", 1, leaver, ()),
+        ("stayer", 1, stayer, ()),
+    ])
+    assert out["stayer"][0] == 4          # stayer saw every publish
+    assert out["leaver"][0] >= 1          # leaver saw at least its first
+    assert out["pub"][0][0] == 2          # both were there at the start
+
+
+def test_in_flight_transformation_per_subscriber():
+    """Two subscribers to the same topic, one plain, one with a unit
+    conversion applied in flight."""
+    src_desc, dst_desc = descs(2, 1)
+    ns, board = NameService(), SubscriptionBoard()
+
+    def publisher(comm):
+        pub = Publisher(comm, ns, board, "temp", src_desc)
+        import time
+        while comm.rank == 0 and len(board.active("temp")) < 2:
+            time.sleep(0.01)
+        comm.barrier()
+        da = DistributedArray.from_function(
+            src_desc, comm.rank, lambda i, j: 20.0 + 0 * i)
+        pub.publish(da)
+        # in-flight transform must not mutate the publisher's data
+        assert all(np.all(a == 20.0) for _, a in da.iter_patches())
+        pub.close()
+        return True
+
+    def celsius_sub(comm):
+        sub = Subscriber(comm, ns, board, "temp", dst_desc)
+        da = sub.receive()
+        while sub.receive() is not None:
+            pass
+        return float(da.get((0, 0)))
+
+    def kelvin_sub(comm):
+        sub = Subscriber(comm, ns, board, "temp", dst_desc,
+                         transform=UnitConversion("celsius", "kelvin"))
+        da = sub.receive()
+        while sub.receive() is not None:
+            pass
+        return float(da.get((0, 0)))
+
+    out = run_coupled([
+        ("pub", 2, publisher, ()),
+        ("c", 1, celsius_sub, ()),
+        ("k", 1, kelvin_sub, ()),
+    ])
+    assert out["c"][0] == pytest.approx(20.0)
+    assert out["k"][0] == pytest.approx(293.15)
+
+
+def test_subscribers_with_different_layouts():
+    src_desc, _ = descs(2, 1)
+    layout_a = DistArrayDescriptor(block_template(SHAPE, (1, 3)))
+    layout_b = DistArrayDescriptor(block_template(SHAPE, (2, 2)))
+    g = np.arange(48.0).reshape(SHAPE)
+    ns, board = NameService(), SubscriptionBoard()
+
+    def publisher(comm):
+        pub = Publisher(comm, ns, board, "f", src_desc)
+        import time
+        while comm.rank == 0 and len(board.active("f")) < 2:
+            time.sleep(0.01)
+        comm.barrier()
+        pub.publish(DistributedArray.from_global(src_desc, comm.rank, g))
+        pub.close()
+        return True
+
+    def make_sub(layout):
+        def body(comm):
+            sub = Subscriber(comm, ns, board, "f", layout)
+            da = sub.receive()
+            while sub.receive() is not None:
+                pass
+            return da
+        return body
+
+    out = run_coupled([
+        ("pub", 2, publisher, ()),
+        ("a", 3, make_sub(layout_a), ()),
+        ("b", 4, make_sub(layout_b), ()),
+    ])
+    np.testing.assert_array_equal(DistributedArray.assemble(out["a"]), g)
+    np.testing.assert_array_equal(DistributedArray.assemble(out["b"]), g)

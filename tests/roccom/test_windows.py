@@ -1,0 +1,135 @@
+"""Roccom window registry tests: data/function sharing by permission."""
+
+import numpy as np
+import pytest
+
+from repro.dad import DistArrayDescriptor, DistributedArray
+from repro.dad.template import block_template
+from repro.errors import PermissionError_, WindowError
+from repro.roccom import Access, Roccom, Window
+from repro.simmpi import run_spmd
+
+
+def make_window(owner="rocflu", rank=0, nranks=1):
+    desc = DistArrayDescriptor(block_template((8,), (nranks,)))
+    w = Window("fluid_surface", owner)
+    da = DistributedArray.from_global(desc, rank, np.arange(8.0))
+    w.add_pane("pressure", da)
+    w.add_function("max_pressure",
+                   lambda: max(float(a.max())
+                               for _, a in da.iter_patches()))
+    return w
+
+
+class TestWindow:
+    def test_panes_and_functions(self):
+        w = make_window()
+        assert w.pane_names() == ["pressure"]
+        assert w.function_names() == ["max_pressure"]
+        assert w.function("max_pressure")() == 7.0
+
+    def test_duplicates_rejected(self):
+        w = make_window()
+        with pytest.raises(WindowError):
+            w.add_pane("pressure", w.pane("pressure"))
+        with pytest.raises(WindowError):
+            w.add_function("max_pressure", lambda: 0)
+
+    def test_unknown_members(self):
+        w = make_window()
+        with pytest.raises(WindowError):
+            w.pane("temperature")
+        with pytest.raises(WindowError):
+            w.function("min_pressure")
+
+
+class TestRegistryPermissions:
+    def _setup(self):
+        reg = Roccom()
+        reg.register(make_window())
+        return reg
+
+    def test_owner_has_full_access(self):
+        reg = self._setup()
+        h = reg.get_window("rocflu", "fluid_surface")
+        np.testing.assert_array_equal(h.read("pressure"), np.arange(8.0))
+        h.write("pressure", np.zeros(8))
+        assert h.call("max_pressure") == 0.0
+
+    def test_no_grant_no_access(self):
+        reg = self._setup()
+        with pytest.raises(PermissionError_):
+            reg.get_window("rocsolid", "fluid_surface")
+
+    def test_read_only_grant(self):
+        reg = self._setup()
+        reg.grant("rocflu", "fluid_surface", "rocsolid", Access.READ)
+        h = reg.get_window("rocsolid", "fluid_surface")
+        assert h.read("pressure")[3] == 3.0
+        with pytest.raises(PermissionError_):
+            h.write("pressure", np.zeros(8))
+        with pytest.raises(PermissionError_):
+            h.call("max_pressure")
+
+    def test_call_grant(self):
+        reg = self._setup()
+        reg.grant("rocflu", "fluid_surface", "rocburn",
+                  Access.CALL | Access.READ)
+        h = reg.get_window("rocburn", "fluid_surface")
+        assert h.call("max_pressure") == 7.0
+
+    def test_only_owner_grants(self):
+        reg = self._setup()
+        with pytest.raises(PermissionError_):
+            reg.grant("rocsolid", "fluid_surface", "rocsolid", Access.FULL)
+
+    def test_revoke(self):
+        reg = self._setup()
+        reg.grant("rocflu", "fluid_surface", "rocsolid", Access.READ)
+        reg.revoke("rocflu", "fluid_surface", "rocsolid")
+        with pytest.raises(PermissionError_):
+            reg.get_window("rocsolid", "fluid_surface")
+
+    def test_write_visible_to_owner(self):
+        """Shared-window updates reach the owner — the coupling path."""
+        reg = self._setup()
+        reg.grant("rocflu", "fluid_surface", "rocsolid", Access.WRITE)
+        h = reg.get_window("rocsolid", "fluid_surface")
+        h.write("pressure", np.full(8, 42.0))
+        owner = reg.get_window("rocflu", "fluid_surface")
+        assert owner.call("max_pressure") == 42.0
+
+    def test_unregister_owner_only(self):
+        reg = self._setup()
+        with pytest.raises(PermissionError_):
+            reg.unregister("rocsolid", "fluid_surface")
+        reg.unregister("rocflu", "fluid_surface")
+        assert reg.window_names() == []
+
+    def test_duplicate_registration(self):
+        reg = self._setup()
+        with pytest.raises(WindowError):
+            reg.register(make_window())
+
+
+def test_spmd_window_sharing():
+    """Windows in an SPMD job: each rank's instance shares its local
+    pane; module functions can reduce over the cohort."""
+    def main(comm):
+        desc = DistArrayDescriptor(block_template((8,), (comm.size,)))
+        da = DistributedArray.from_global(desc, comm.rank, np.arange(8.0))
+        reg = Roccom()
+        w = Window("surf", "fluid")
+        w.add_pane("p", da)
+        w.add_function(
+            "global_sum",
+            lambda: comm.allreduce(
+                sum(float(a.sum()) for _, a in da.iter_patches()),
+                op="sum"))
+        reg.register(w)
+        reg.grant("fluid", "surf", "solid", Access.CALL)
+        handle = reg.get_window("solid", "surf")
+        return handle.call("global_sum")
+
+    results = run_spmd(2, main)
+    assert results == [28.0, 28.0]

@@ -1,0 +1,57 @@
+"""Deadlock watchdog tests: stuck jobs raise instead of hanging."""
+
+import pytest
+
+from repro.errors import DeadlockError, SpmdError
+from repro.simmpi import run_spmd
+
+
+def test_recv_from_nobody_detected():
+    def main(comm):
+        comm.recv(source=1 - comm.rank, tag=99)  # nobody ever sends
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_spmd(2, main, deadlock_timeout=0.5)
+    failures = exc_info.value.failures
+    assert failures
+    assert all(isinstance(e, DeadlockError) for e in failures.values())
+
+
+def test_deadlock_dump_names_blocked_ranks():
+    def main(comm):
+        if comm.rank == 0:
+            comm.recv(source=1, tag=42)
+        # rank 1 returns immediately; rank 0 can never complete
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_spmd(2, main, deadlock_timeout=0.5)
+    err = next(iter(exc_info.value.failures.values()))
+    assert isinstance(err, DeadlockError)
+    assert "tag=42" in str(err.blocked) or "tag=42" in str(err)
+
+
+def test_cyclic_recv_deadlock():
+    """Classic head-to-head recv cycle (sends buffered, so only recv-recv
+    cycles deadlock)."""
+    def main(comm):
+        nxt = (comm.rank + 1) % comm.size
+        comm.recv(source=nxt)  # everyone waits on the next rank
+
+    with pytest.raises(SpmdError):
+        run_spmd(3, main, deadlock_timeout=0.5)
+
+
+def test_no_false_positive_under_load():
+    """A busy but progressing job must not trip the watchdog."""
+    def main(comm):
+        token = 0
+        for _ in range(200):
+            if comm.rank == 0:
+                comm.send(token, dest=1)
+                token = comm.recv(source=1) + 1
+            else:
+                comm.send(comm.recv(source=0), dest=0)
+        return token
+
+    results = run_spmd(2, main, deadlock_timeout=0.3)
+    assert results[0] == 200

@@ -1,0 +1,207 @@
+"""simmpi edge cases and stress tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.simmpi import ANY_SOURCE, run_spmd
+from repro.simmpi.ops import resolve_op
+from repro.simmpi.request import wait_all
+
+
+def test_single_rank_collectives():
+    def main(comm):
+        assert comm.bcast("x") == "x"
+        assert comm.gather(5) == [5]
+        assert comm.allgather(5) == [5]
+        assert comm.scatter([7]) == 7
+        assert comm.alltoall(["a"]) == ["a"]
+        assert comm.reduce(3) == 3
+        assert comm.scan(3) == 3
+        comm.barrier()
+        return True
+
+    assert all(run_spmd(1, main))
+
+
+def test_reduce_nonzero_root():
+    def main(comm):
+        return comm.reduce(comm.rank, op="sum", root=2)
+
+    results = run_spmd(4, main)
+    assert results[2] == 6
+    assert results[0] is None and results[3] is None
+
+
+@pytest.mark.parametrize("root", [0, 1, 2])
+def test_bcast_any_root(root):
+    def main(comm):
+        return comm.bcast(f"from{comm.rank}" if comm.rank == root else None,
+                          root=root)
+
+    assert run_spmd(3, main) == [f"from{root}"] * 3
+
+
+def test_logical_reduce_ops():
+    def main(comm):
+        flags = comm.rank > 0
+        return (comm.allreduce(flags, op="land"),
+                comm.allreduce(flags, op="lor"))
+
+    for r in run_spmd(3, main):
+        assert r == (False, True)
+
+
+def test_unknown_op_rejected():
+    def main(comm):
+        comm.allreduce(1, op="median")
+
+    from repro.errors import SpmdError
+    with pytest.raises(SpmdError):
+        run_spmd(2, main)
+
+
+def test_resolve_op_passthrough():
+    fn = resolve_op(lambda a, b: a - b)
+    assert fn(5, 3) == 2
+    with pytest.raises(CommunicatorError):
+        resolve_op("mystery")
+
+
+def test_wait_all():
+    def main(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(i, dest=1, tag=i) for i in range(5)]
+            wait_all(reqs)
+            return None
+        reqs = [comm.irecv(source=0, tag=i) for i in range(5)]
+        return wait_all(reqs)
+
+    assert run_spmd(2, main)[1] == [0, 1, 2, 3, 4]
+
+
+def test_dup_chain_isolation():
+    def main(comm):
+        d1 = comm.dup()
+        d2 = d1.dup()
+        contexts = {comm.context, d1.context, d2.context}
+        assert len(contexts) == 3
+        # a message on d2 is invisible to comm and d1
+        if comm.rank == 0:
+            d2.send("deep", dest=1, tag=0)
+            comm.send("shallow", dest=1, tag=0)
+        else:
+            assert comm.recv(source=0, tag=0) == "shallow"
+            assert d2.recv(source=0, tag=0) == "deep"
+        return True
+
+    assert all(run_spmd(2, main))
+
+
+def test_sendrecv_self():
+    def main(comm):
+        return comm.sendrecv("me", dest=comm.rank, source=comm.rank)
+
+    assert run_spmd(2, main) == ["me", "me"]
+
+
+def test_status_fields():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(10, dtype=np.float64), dest=1, tag=42)
+            return None
+        _, st = comm.recv(return_status=True)
+        return (st.source, st.tag, st.nbytes)
+
+    assert run_spmd(2, main)[1] == (0, 42, 80)
+
+
+def test_ring_stress_16_ranks():
+    """Token ring over 16 ranks, 20 laps: ordering and progress under
+    load."""
+    laps = 20
+
+    def main(comm):
+        nxt = (comm.rank + 1) % comm.size
+        prev = (comm.rank - 1) % comm.size
+        if comm.rank == 0:
+            comm.send(0, dest=nxt)
+            for _ in range(laps - 1):
+                token = comm.recv(source=prev)
+                comm.send(token + 1, dest=nxt)
+            return comm.recv(source=prev)
+        for _ in range(laps):
+            token = comm.recv(source=prev)
+            comm.send(token + 1, dest=nxt)
+        return None
+
+    result = run_spmd(16, main, deadlock_timeout=10.0)
+    assert result[0] == laps * 16 - 1
+
+
+def test_many_outstanding_messages():
+    """A flood of tagged messages consumed out of order."""
+    def main(comm):
+        if comm.rank == 0:
+            for i in range(100):
+                comm.send(i, dest=1, tag=i)
+            return None
+        # consume in reverse tag order
+        return [comm.recv(source=0, tag=t) for t in reversed(range(100))]
+
+    assert run_spmd(2, main)[1] == list(reversed(range(100)))
+
+
+def test_allgather_object_isolation():
+    """allgather results must be private copies per rank."""
+    def main(comm):
+        data = comm.allgather([comm.rank])
+        data[0].append(99)  # mutate; must not leak to other ranks
+        return data[1]
+
+    results = run_spmd(2, main)
+    assert results == [[1], [1]]
+
+
+def test_scan_on_arrays():
+    def main(comm):
+        return comm.scan(np.full(3, comm.rank + 1.0), op="sum")
+
+    results = run_spmd(3, main)
+    np.testing.assert_array_equal(results[0], [1.0, 1.0, 1.0])
+    np.testing.assert_array_equal(results[2], [6.0, 6.0, 6.0])
+
+
+def test_alltoallv_empty_contributions():
+    def main(comm):
+        # rank 0 sends nothing at all; rank 1 sends 2 items to each
+        if comm.rank == 0:
+            buf = np.empty(0, dtype=np.float64)
+            counts = [0, 0]
+        else:
+            buf = np.arange(4, dtype=np.float64)
+            counts = [2, 2]
+        return comm.alltoallv(buf, counts)
+
+    results = run_spmd(2, main)
+    np.testing.assert_array_equal(results[0], [0.0, 1.0])
+    np.testing.assert_array_equal(results[1], [2.0, 3.0])
+
+
+def test_intercomm_bad_remote_rank():
+    from repro.simmpi import NameService, run_coupled
+
+    ns = NameService()
+
+    def a(comm):
+        inter = ns.accept("bad", comm)
+        with pytest.raises(CommunicatorError):
+            inter.send("x", dest=5)
+        return True
+
+    def b(comm):
+        ns.connect("bad", comm)
+        return True
+
+    out = run_coupled([("a", 1, a, ()), ("b", 1, b, ())])
+    assert all(out["a"])

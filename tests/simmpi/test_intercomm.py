@@ -1,0 +1,130 @@
+"""Intercommunicator / name-service tests: coupling two SPMD jobs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpmdError
+from repro.simmpi import NameService, run_coupled
+
+
+def test_connect_accept_basic_exchange():
+    ns = NameService()
+
+    def server(comm):
+        inter = ns.accept("svc", comm)
+        assert inter.remote_size == 3
+        data = inter.recv(source=0, tag=1)
+        inter.send(data * 2, dest=0, tag=2)
+        return "served"
+
+    def client(comm):
+        inter = ns.connect("svc", comm)
+        assert inter.remote_size == 2
+        if comm.rank == 0:
+            inter.send(21, dest=0, tag=1)
+            return inter.recv(source=0, tag=2)
+        return None
+
+    # client rank 0 talks to server rank 0 only; other server rank must
+    # not block on recv from nobody
+    def server_fixed(comm):
+        inter = ns.accept("svc", comm) if comm.rank >= 0 else None
+        if comm.rank == 0:
+            data = inter.recv(source=0, tag=1)
+            inter.send(data * 2, dest=0, tag=2)
+        return "served"
+
+    out = run_coupled([
+        ("server", 2, server_fixed, ()),
+        ("client", 3, client, ()),
+    ])
+    assert out["client"][0] == 42
+    assert out["server"] == ["served", "served"]
+
+
+def test_mxn_pairwise_exchange():
+    """Every rank of an M=3 job sends to its (rank % N) peer in an N=2 job."""
+    ns = NameService()
+
+    def left(comm):
+        inter = ns.accept("pair", comm)
+        inter.send(np.full(4, comm.rank, dtype=np.int64),
+                   dest=comm.rank % inter.remote_size, tag=5)
+        return None
+
+    def right(comm):
+        inter = ns.connect("pair", comm)
+        sources = [m for m in range(inter.remote_size)
+                   if m % comm.size == comm.rank]
+        got = {}
+        for _ in sources:
+            data, st = inter.recv(tag=5, return_status=True)
+            got[st.source] = int(data[0])
+        return got
+
+    out = run_coupled([
+        ("left", 3, left, ()),
+        ("right", 2, right, ()),
+    ])
+    assert out["right"][0] == {0: 0, 2: 2}
+    assert out["right"][1] == {1: 1}
+
+
+def test_sequential_connections_reuse_name():
+    ns = NameService()
+
+    def a(comm):
+        i1 = ns.accept("chan", comm)
+        i1.send("first", dest=0)
+        i2 = ns.accept("chan", comm)
+        i2.send("second", dest=0)
+        return None
+
+    def b(comm):
+        i1 = ns.connect("chan", comm)
+        first = i1.recv(source=0)
+        i2 = ns.connect("chan", comm)
+        second = i2.recv(source=0)
+        return (first, second)
+
+    out = run_coupled([("a", 1, a, ()), ("b", 1, b, ())])
+    assert out["b"][0] == ("first", "second")
+
+
+def test_intercomm_contexts_isolated_from_local():
+    """Intercomm traffic must not be matched by local-comm receives."""
+    ns = NameService()
+
+    def a(comm):
+        inter = ns.accept("iso", comm)
+        inter.send("remote-msg", dest=0, tag=0)
+        comm.send("local-msg", dest=0, tag=0)  # self-size-1: rank 0
+        local = comm.recv(source=0, tag=0)
+        remote = inter.recv(source=0, tag=0)
+        return (local, remote)
+
+    def b(comm):
+        inter = ns.connect("iso", comm)
+        got = inter.recv(source=0, tag=0)
+        inter.send("reply", dest=0, tag=0)
+        return got
+
+    out = run_coupled([("a", 1, a, ()), ("b", 1, b, ())])
+    assert out["a"][0] == ("local-msg", "reply")
+    assert out["b"][0] == "remote-msg"
+
+
+def test_cross_job_deadlock_detected():
+    ns = NameService()
+
+    def a(comm):
+        inter = ns.accept("dl", comm)
+        inter.recv(source=0, tag=1)  # b never sends tag 1
+
+    def b(comm):
+        inter = ns.connect("dl", comm)
+        inter.recv(source=0, tag=1)  # a never sends either
+
+    with pytest.raises(SpmdError):
+        run_coupled([("a", 1, a, ()), ("b", 1, b, ())],
+                    deadlock_timeout=0.5)

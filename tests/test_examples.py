@@ -1,0 +1,21 @@
+"""Smoke tests: every shipped example runs to completion and verifies
+its own assertions."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=180)
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout}\n{proc.stderr}")
+    assert proc.stdout.strip(), f"{script.name} produced no output"

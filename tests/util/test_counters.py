@@ -1,0 +1,47 @@
+"""Instrumentation counter tests."""
+
+import threading
+
+from repro.util.counters import Counters
+
+
+def test_basic_accounting():
+    c = Counters()
+    c.add("msgs")
+    c.add("msgs", 4)
+    c.add("bytes", 100)
+    assert c.get("msgs") == 5
+    assert c.get("bytes") == 100
+    assert c.get("missing") == 0
+
+
+def test_snapshot_is_copy():
+    c = Counters()
+    c.add("x")
+    snap = c.snapshot()
+    c.add("x")
+    assert snap == {"x": 1}
+    assert c.get("x") == 2
+
+
+def test_reset():
+    c = Counters()
+    c.add("x", 7)
+    c.reset()
+    assert c.snapshot() == {}
+
+
+def test_thread_safety():
+    c = Counters()
+    n, per = 8, 1000
+
+    def worker():
+        for _ in range(per):
+            c.add("hits")
+
+    threads = [threading.Thread(target=worker) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.get("hits") == n * per

@@ -1,0 +1,55 @@
+"""Unit + property tests for flat-index helpers."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.util.indexing import (
+    region_flat_indices,
+    row_major_coords,
+    row_major_offset,
+    row_major_strides,
+    shape_volume,
+)
+from repro.util.regions import Region
+
+
+def test_shape_volume():
+    assert shape_volume((3, 4, 5)) == 60
+    assert shape_volume(()) == 1
+
+
+def test_row_major_strides():
+    assert row_major_strides((3, 4, 5)) == (20, 5, 1)
+
+
+def test_offset_matches_numpy():
+    shape = (3, 4, 5)
+    arr = np.arange(shape_volume(shape)).reshape(shape)
+    for coords in [(0, 0, 0), (1, 2, 3), (2, 3, 4)]:
+        assert row_major_offset(coords, shape) == arr[coords]
+
+
+@given(st.lists(st.integers(1, 6), min_size=1, max_size=4))
+def test_offset_coords_roundtrip(shape):
+    shape = tuple(shape)
+    n = shape_volume(shape)
+    for off in range(0, n, max(1, n // 7)):
+        coords = row_major_coords(off, shape)
+        assert row_major_offset(coords, shape) == off
+        assert all(0 <= c < s for c, s in zip(coords, shape))
+
+
+def test_region_flat_indices_matches_numpy():
+    shape = (4, 5, 6)
+    arr = np.arange(shape_volume(shape)).reshape(shape)
+    region = Region((1, 0, 2), (3, 4, 5))
+    idx = region_flat_indices(region, shape)
+    np.testing.assert_array_equal(
+        arr.reshape(-1)[idx], arr[1:3, 0:4, 2:5].reshape(-1))
+
+
+def test_region_flat_indices_full_array():
+    shape = (3, 3)
+    region = Region.from_shape(shape)
+    np.testing.assert_array_equal(
+        region_flat_indices(region, shape), np.arange(9))

@@ -1,0 +1,83 @@
+"""Property-based tests for the region algebra (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.regions import Region, RegionList
+
+
+@st.composite
+def regions(draw, ndim=None, max_coord=20):
+    nd = ndim if ndim is not None else draw(st.integers(1, 3))
+    lo, hi = [], []
+    for _ in range(nd):
+        a = draw(st.integers(0, max_coord - 1))
+        b = draw(st.integers(a + 1, max_coord))
+        lo.append(a)
+        hi.append(b)
+    return Region(tuple(lo), tuple(hi))
+
+
+@st.composite
+def region_pairs(draw, max_coord=20):
+    nd = draw(st.integers(1, 3))
+    return (draw(regions(ndim=nd, max_coord=max_coord)),
+            draw(regions(ndim=nd, max_coord=max_coord)))
+
+
+@given(region_pairs())
+def test_intersection_commutative(pair):
+    a, b = pair
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(region_pairs())
+def test_intersection_contained_in_both(pair):
+    a, b = pair
+    inter = a.intersect(b)
+    if inter is not None:
+        assert a.contains(inter)
+        assert b.contains(inter)
+        assert inter.volume > 0
+
+
+@given(regions())
+def test_self_intersection_identity(r):
+    assert r.intersect(r) == r
+
+
+@given(region_pairs())
+def test_subtract_partitions_volume(pair):
+    a, b = pair
+    pieces = a.subtract(b)
+    inter = a.intersect(b)
+    inter_vol = inter.volume if inter is not None else 0
+    assert sum(p.volume for p in pieces) == a.volume - inter_vol
+    # Pieces are disjoint from b and from each other, and inside a.
+    for p in pieces:
+        assert p.intersect(b) is None
+        assert a.contains(p)
+    RegionList(pieces)
+
+
+@given(region_pairs())
+def test_subtract_then_union_covers(pair):
+    a, b = pair
+    pieces = a.subtract(b)
+    inter = a.intersect(b)
+    parts = pieces + ([inter] if inter is not None else [])
+    assert RegionList(parts).covers(a)
+
+
+@given(regions(), st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+def test_shift_roundtrip(r, dx, dy, dz):
+    offset = (dx, dy, dz)[: r.ndim]
+    back = tuple(-o for o in offset)
+    assert r.shift(offset).shift(back) == r
+
+
+@given(regions())
+def test_volume_matches_shape(r):
+    v = 1
+    for s in r.shape:
+        v *= s
+    assert r.volume == v
