@@ -10,7 +10,7 @@ argument sizes.
 import numpy as np
 import pytest
 
-from _common import banner, fmt_table, timed
+from _common import banner, fmt_table
 from repro.cca.sidl import arg, method, port
 from repro.prmi import CalleeEndpoint, CallerEndpoint
 from repro.simmpi import NameService, run_coupled

@@ -15,7 +15,6 @@ overhead and flexibility.  This is the cross-system synthesis the
 paper's Fig. 4 gestures at, as numbers.
 """
 
-import numpy as np
 import pytest
 
 from _common import banner, fmt_table, timed

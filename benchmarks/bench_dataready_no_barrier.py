@@ -14,9 +14,8 @@ times.
 import time
 
 import numpy as np
-import pytest
 
-from _common import banner, fmt_table, timed
+from _common import banner, fmt_table
 from repro.dad import AccessMode, DistArrayDescriptor, DistributedArray
 from repro.dad.template import block_template
 from repro.mxn import ConnectionKind, MxNComponent

@@ -8,9 +8,8 @@ implies — and that it amortizes as payloads grow.
 """
 
 import numpy as np
-import pytest
 
-from _common import banner, fmt_table, timed
+from _common import banner, fmt_table
 from repro.cca import Component, DirectFramework
 from repro.cca.distributed import DistributedFramework
 from repro.cca.sidl import arg, method, port

@@ -8,7 +8,6 @@ channel — the schedule is built once at connect time and reused.
 """
 
 import numpy as np
-import pytest
 
 from _common import banner, fmt_table, timed
 from repro.dad import AccessMode, DistArrayDescriptor, DistributedArray

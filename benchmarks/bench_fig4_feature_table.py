@@ -8,14 +8,13 @@ since everything here is Python; "Prod. Level" becomes whether the
 paper marked the original production-grade).
 """
 
-import pytest
 
 from _common import banner, fmt_table
 
 
 def project_features():
     """Capability declarations introspected from the implementations."""
-    from repro.dca.engine import DCACallerPort, DCAParallelArg
+    from repro.dca.engine import DCACallerPort
     from repro.icomm.coupling import Exporter
     from repro.mct.router import Router
     from repro.mxn.connection import MxNConnection

@@ -9,8 +9,6 @@ export under a REGULAR rule (the exporter never blocks), against a
 hand-coded variant where the producer synchronously pushes every step.
 """
 
-import numpy as np
-import pytest
 
 from _common import banner, fmt_table, timed
 from repro.dad import DistArrayDescriptor, DistributedArray

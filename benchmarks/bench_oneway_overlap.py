@@ -11,7 +11,6 @@ the background).
 
 import time
 
-import pytest
 
 from _common import banner, fmt_table, timed
 from repro.cca.sidl import arg, method, port

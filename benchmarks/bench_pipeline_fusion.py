@@ -13,7 +13,6 @@ super-component; work metrics show where the savings come from.
 """
 
 import numpy as np
-import pytest
 
 from _common import banner, fmt_table, timed
 from repro.dad import DistArrayDescriptor, DistributedArray

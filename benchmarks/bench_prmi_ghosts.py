@@ -9,8 +9,6 @@ ghost bookkeeping plus per-call latency; also compares collective vs.
 independent invocation cost at M = N.
 """
 
-import numpy as np
-import pytest
 
 from _common import banner, fmt_table, timed
 from repro.cca.sidl import arg, method, port

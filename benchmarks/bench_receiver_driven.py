@@ -12,7 +12,6 @@ per-transfer request overhead loses to schedule reuse).
 """
 
 import numpy as np
-import pytest
 
 from _common import banner, fmt_table, timed
 from repro.dad import DistArrayDescriptor, DistributedArray

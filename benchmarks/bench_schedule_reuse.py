@@ -11,7 +11,6 @@ different actual arrays on every transfer.
 """
 
 import numpy as np
-import pytest
 
 from _common import banner, fmt_table, redistribute_once, timed
 from repro.dad import BlockCyclic, CartesianTemplate, DistArrayDescriptor

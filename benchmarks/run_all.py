@@ -33,6 +33,7 @@ EXPERIMENTS = [
     ("A2", "bench_ablation_verify"),
     ("A3", "bench_pipeline_fusion"),
     ("A4", "bench_coupling_styles"),
+    ("A5", "bench_schedule_scaling"),
 ]
 
 

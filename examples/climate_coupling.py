@@ -30,7 +30,6 @@ from repro.mct import (
     SparseMatrix,
     global_average,
     merge,
-    paired_integrals,
 )
 from repro.simmpi import run_spmd
 

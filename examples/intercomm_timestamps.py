@@ -15,7 +15,6 @@ coordination spec decides, per field:
 Run:  python examples/intercomm_timestamps.py
 """
 
-import numpy as np
 
 from repro.dad import DistArrayDescriptor, DistributedArray
 from repro.dad.template import block_template

@@ -20,9 +20,8 @@ from __future__ import annotations
 from typing import Any, Type
 
 from repro.errors import PortError, PRMIError
-from repro.cca.component import Component, Services
+from repro.cca.component import Component
 from repro.cca.framework import DirectFramework
-from repro.cca.sidl import PortType
 from repro.prmi.endpoint import CalleeEndpoint, CallerEndpoint
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import NameService

@@ -11,7 +11,7 @@ data that stub generators and dispatchers consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import OneWayReturnError, PRMIError
 

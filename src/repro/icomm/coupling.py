@@ -17,7 +17,6 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import CoordinationError
 from repro.dad.darray import DistributedArray

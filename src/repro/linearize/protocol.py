@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
 
 from repro.errors import ScheduleError
 from repro.linearize.linearization import Linearization, Run

@@ -18,7 +18,6 @@ from repro.mct.gsmap import GlobalSegMap
 from repro.mct.registry import MCTWorld
 from repro.schedule.builder import build_linear_schedule
 from repro.schedule.plan import LinearSchedule
-from repro.simmpi.communicator import Communicator
 
 ROUTER_TAG = 160
 

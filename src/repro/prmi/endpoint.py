@@ -19,7 +19,7 @@ data moves as schedule point-to-point messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

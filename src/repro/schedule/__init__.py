@@ -24,14 +24,22 @@ sends, so "actual transfers can be carried out fully in parallel".
 from repro.schedule.plan import CommSchedule, LinearSchedule, TransferItem, LinearItem
 from repro.schedule.builder import (
     ScheduleCache,
+    build_allpairs_schedule,
     build_block_schedule,
     build_linear_schedule,
     build_region_schedule,
+    build_structured_schedule,
+    build_sweep_schedule,
 )
 from repro.schedule.executor import (
     execute_inter,
     execute_intra,
     execute_linear_inter,
+)
+from repro.schedule.packing import (
+    pack_regions,
+    region_offsets,
+    unpack_regions,
 )
 
 __all__ = [
@@ -41,9 +49,15 @@ __all__ = [
     "LinearItem",
     "ScheduleCache",
     "build_region_schedule",
+    "build_allpairs_schedule",
     "build_block_schedule",
+    "build_structured_schedule",
+    "build_sweep_schedule",
     "build_linear_schedule",
     "execute_intra",
     "execute_inter",
     "execute_linear_inter",
+    "pack_regions",
+    "unpack_regions",
+    "region_offsets",
 ]

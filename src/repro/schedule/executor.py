@@ -5,6 +5,13 @@ paper's §4.1 protocol): sends are posted first (buffered, so they never
 block), then receives complete in per-source FIFO order.  No barrier is
 required on either side — experiment E9 counts exactly that.
 
+By default execution is *packed* (message coalescing): every
+communicating (src, dst) rank pair exchanges one contiguous buffer
+holding all of its regions, so the message count equals the pair count
+rather than the region count.  ``packed=False`` restores the historical
+one-message-per-region wire protocol; both sides of a transfer must use
+the same setting.
+
 Three deployment shapes are supported:
 
 * :func:`execute_intra` — source and destination cohorts live in one
@@ -24,6 +31,7 @@ import numpy as np
 from repro.errors import ScheduleError
 from repro.dad.darray import DistributedArray
 from repro.linearize.linearization import Linearization
+from repro.schedule.packing import pack_regions, unpack_regions
 from repro.schedule.plan import CommSchedule, LinearSchedule
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator
@@ -37,14 +45,15 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
                   dst_array: DistributedArray | None = None,
                   src_ranks: Sequence[int] | None = None,
                   dst_ranks: Sequence[int] | None = None,
-                  tag: int = TRANSFER_TAG) -> int:
+                  tag: int = TRANSFER_TAG, packed: bool = True) -> int:
     """Run ``schedule`` inside one communicator.
 
     ``src_ranks[i]`` is the comm rank playing source-template rank ``i``
     (default: identity); likewise ``dst_ranks``.  A rank may appear on
     both sides (e.g. an in-place transpose over the same cohort).  Every
     participating rank must call this collectively with the same
-    schedule.  Returns the number of elements this rank received.
+    schedule (and the same ``packed`` setting).  Returns the number of
+    elements this rank received.
     """
     src_ranks = list(src_ranks if src_ranks is not None
                      else range(schedule.src_nranks))
@@ -56,40 +65,54 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
     if len(dst_ranks) != schedule.dst_nranks:
         raise ScheduleError(
             f"need {schedule.dst_nranks} dest ranks, got {len(dst_ranks)}")
+    src_pos = {rank: i for i, rank in enumerate(src_ranks)}
+    dst_pos = {rank: i for i, rank in enumerate(dst_ranks)}
 
     me = comm.rank
     # Post all sends first (buffered -> nonblocking).
-    if me in src_ranks:
+    if me in src_pos:
         if src_array is None:
             raise ScheduleError(f"rank {me} is a source but has no src_array")
-        s = src_ranks.index(me)
-        for d, region in schedule.sends_from(s):
-            comm.send(src_array.local_view(region), dst_ranks[d], tag)
+        s = src_pos[me]
+        if packed:
+            for d, regions, offsets in schedule.send_groups(s):
+                comm.send(pack_regions(src_array, regions, offsets),
+                          dst_ranks[d], tag)
+        else:
+            for d, region in schedule.sends_from(s):
+                comm.send(src_array.local_view(region), dst_ranks[d], tag)
     received = 0
-    if me in dst_ranks:
+    if me in dst_pos:
         if dst_array is None:
             raise ScheduleError(f"rank {me} is a destination but has no dst_array")
-        d = dst_ranks.index(me)
-        for s, region in schedule.recvs_at(d):
-            data = comm.recv(source=src_ranks[s], tag=tag)
-            dst_array.local_view(region)[...] = np.asarray(data).reshape(
-                region.shape)
-            received += region.volume
+        d = dst_pos[me]
+        if packed:
+            for s, regions, offsets in schedule.recv_groups(d):
+                data = comm.recv(source=src_ranks[s], tag=tag)
+                received += unpack_regions(dst_array, regions, data, offsets)
+        else:
+            for s, region in schedule.recvs_at(d):
+                data = comm.recv(source=src_ranks[s], tag=tag)
+                dst_array.local_view(region)[...] = np.asarray(data).reshape(
+                    region.shape)
+                received += region.volume
     return received
 
 
 def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
                   side: str, array: DistributedArray,
                   *, tag: int = TRANSFER_TAG, rank: int | None = None,
-                  peer_map: list[int] | None = None) -> int:
+                  peer_map: list[int] | None = None,
+                  packed: bool = True) -> int:
     """Run ``schedule`` across an intercommunicator.
 
     ``side`` is ``"src"`` or ``"dst"``; schedule ranks equal each side's
     local ranks by default.  ``rank`` overrides this side's schedule
     rank (e.g. PRMI sub-setting, where effective caller ranks differ
     from cohort ranks); ``peer_map`` translates the *peer* side's
-    schedule ranks to actual remote ranks for the same reason.  Returns
-    elements sent (src side) or received (dst).
+    schedule ranks to actual remote ranks for the same reason.  Both
+    jobs must agree on ``packed``.  Returns elements sent (src side) or
+    received (dst).
     """
     me = rank if rank is not None else inter.rank
 
@@ -98,17 +121,28 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
 
     if side == "src":
         moved = 0
-        for d, region in schedule.sends_from(me):
-            inter.send(array.local_view(region), dest=peer(d), tag=tag)
-            moved += region.volume
+        if packed:
+            for d, regions, offsets in schedule.send_groups(me):
+                inter.send(pack_regions(array, regions, offsets),
+                           dest=peer(d), tag=tag)
+                moved += offsets[-1]
+        else:
+            for d, region in schedule.sends_from(me):
+                inter.send(array.local_view(region), dest=peer(d), tag=tag)
+                moved += region.volume
         return moved
     if side == "dst":
         received = 0
-        for s, region in schedule.recvs_at(me):
-            data = inter.recv(source=peer(s), tag=tag)
-            array.local_view(region)[...] = np.asarray(data).reshape(
-                region.shape)
-            received += region.volume
+        if packed:
+            for s, regions, offsets in schedule.recv_groups(me):
+                data = inter.recv(source=peer(s), tag=tag)
+                received += unpack_regions(array, regions, data, offsets)
+        else:
+            for s, region in schedule.recvs_at(me):
+                data = inter.recv(source=peer(s), tag=tag)
+                array.local_view(region)[...] = np.asarray(data).reshape(
+                    region.shape)
+                received += region.volume
         return received
     raise ValueError(f"side must be 'src' or 'dst', got {side!r}")
 

@@ -1,0 +1,76 @@
+"""Message coalescing: pack/unpack per-pair region groups.
+
+The paper's schedule executors move one message per transfer region.
+When a (src, dst) rank pair exchanges many regions — the normal case
+for cyclic and block-cyclic templates, whose ownership fragments into
+one region per block — the per-message overhead dominates.  Following
+the message-combining argument of the redistribution literature, the
+packed execution path flattens every region a pair exchanges into one
+contiguous buffer, so the wire carries exactly one message per
+communicating rank pair regardless of how fragmented the templates are.
+
+The region order inside a packed buffer is the schedule's wire order
+(ascending region ``lo`` within the pair), which
+:meth:`~repro.schedule.plan.CommSchedule.send_groups` and
+:meth:`~repro.schedule.plan.CommSchedule.recv_groups` both precompute —
+sender and receiver agree on layout without any metadata exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.dad.darray import DistributedArray
+from repro.util.regions import Region
+
+__all__ = ["pack_regions", "unpack_regions", "region_offsets"]
+
+
+def region_offsets(regions: Sequence[Region]) -> list[int]:
+    """Flattened element offset of each region in a packed buffer, with
+    the total volume appended (length ``len(regions) + 1``)."""
+    offsets = [0]
+    for r in regions:
+        offsets.append(offsets[-1] + r.volume)
+    return offsets
+
+
+def pack_regions(array: DistributedArray, regions: Sequence[Region],
+                 offsets: Sequence[int] | None = None) -> np.ndarray:
+    """Copy ``regions`` of ``array`` into one contiguous 1-D buffer.
+
+    ``offsets`` (as from :func:`region_offsets`, or precomputed on the
+    schedule) lets the buffer be allocated once and filled by slice
+    assignment instead of concatenation.
+    """
+    if offsets is None:
+        offsets = region_offsets(regions)
+    out = np.empty(offsets[-1], dtype=array.descriptor.dtype)
+    for r, lo, hi in zip(regions, offsets, offsets[1:]):
+        out[lo:hi] = array.local_view(r).reshape(-1)
+    return out
+
+
+def unpack_regions(array: DistributedArray, regions: Sequence[Region],
+                   buffer: np.ndarray,
+                   offsets: Sequence[int] | None = None) -> int:
+    """Scatter a packed ``buffer`` back into ``regions`` of ``array``.
+
+    Returns the number of elements written.  Raises
+    :class:`~repro.errors.ScheduleError` when the buffer length does not
+    match the regions' total volume (a packed/unpacked protocol
+    mismatch between sender and receiver).
+    """
+    if offsets is None:
+        offsets = region_offsets(regions)
+    buffer = np.asarray(buffer).reshape(-1)
+    if buffer.size != offsets[-1]:
+        raise ScheduleError(
+            f"packed buffer holds {buffer.size} elements, regions expect "
+            f"{offsets[-1]} — sender and receiver disagree on packing")
+    for r, lo, hi in zip(regions, offsets, offsets[1:]):
+        array.local_view(r)[...] = buffer[lo:hi].reshape(r.shape)
+    return offsets[-1]

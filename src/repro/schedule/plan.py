@@ -36,8 +36,32 @@ class LinearItem:
     run: Run
 
 
+def _group_by_peer(pairs: list[tuple[int, "Region"]],
+                   ) -> list[tuple[int, list["Region"], list[int]]]:
+    """Group an ordered (peer, region) list into per-peer runs.
+
+    Returns ``(peer, regions, offsets)`` tuples where ``offsets`` is the
+    flattened element offset of each region inside the coalesced buffer,
+    with the total volume appended — precomputed once so packed
+    execution never rescans volumes.
+    """
+    groups: list[tuple[int, list[Region], list[int]]] = []
+    for peer, region in pairs:
+        if not groups or groups[-1][0] != peer:
+            groups.append((peer, [], [0]))
+        _, regions, offsets = groups[-1]
+        regions.append(region)
+        offsets.append(offsets[-1] + region.volume)
+    return groups
+
+
 class CommSchedule:
-    """A region-based communication schedule between two templates."""
+    """A region-based communication schedule between two templates.
+
+    Per-rank send/receive views and per-(src, dst)-pair coalescing
+    groups are indexed once at construction, so the executor's queries
+    are O(per-rank items) instead of O(total items) rescans.
+    """
 
     def __init__(self, items: list[TransferItem], src_nranks: int,
                  dst_nranks: int):
@@ -45,12 +69,27 @@ class CommSchedule:
             items, key=lambda it: (it.src, it.dst, it.region.lo))
         self.src_nranks = src_nranks
         self.dst_nranks = dst_nranks
+        sends: list[list[tuple[int, Region]]] = [[] for _ in range(src_nranks)]
+        recvs: list[list[tuple[int, Region]]] = [[] for _ in range(dst_nranks)]
+        for it in self.items:
+            # items are (src, dst, lo)-sorted, so each send list arrives
+            # ordered by (dst, lo) already.
+            sends[it.src].append((it.dst, it.region))
+            recvs[it.dst].append((it.src, it.region))
+        for lst in recvs:
+            lst.sort(key=lambda t: (t[0], t[1].lo))
+        self._sends = sends
+        self._recvs = recvs
+        self._send_groups = [_group_by_peer(lst) for lst in sends]
+        self._recv_groups = [_group_by_peer(lst) for lst in recvs]
 
     # -- per-rank views -------------------------------------------------------
 
     def sends_from(self, src: int) -> list[tuple[int, Region]]:
         """(dst, region) pairs rank ``src`` must send, in wire order."""
-        return [(it.dst, it.region) for it in self.items if it.src == src]
+        if not (0 <= src < self.src_nranks):
+            return []
+        return list(self._sends[src])
 
     def recvs_at(self, dst: int) -> list[tuple[int, Region]]:
         """(src, region) pairs rank ``dst`` must receive.
@@ -58,9 +97,34 @@ class CommSchedule:
         Ordered by (src, region) — the same relative order per source as
         :meth:`sends_from` produces, so FIFO matching lines up.
         """
-        return sorted(
-            ((it.src, it.region) for it in self.items if it.dst == dst),
-            key=lambda t: (t[0], t[1].lo))
+        if not (0 <= dst < self.dst_nranks):
+            return []
+        return list(self._recvs[dst])
+
+    # -- per-pair coalescing groups ------------------------------------------
+
+    def send_groups(self, src: int) -> list[tuple[int, list[Region], list[int]]]:
+        """Per-destination coalescing groups for rank ``src``:
+        ``(dst, regions, offsets)`` with regions in wire order and
+        ``offsets`` the flattened element offsets (total appended).
+        Callers must not mutate the returned lists."""
+        if not (0 <= src < self.src_nranks):
+            return []
+        return self._send_groups[src]
+
+    def recv_groups(self, dst: int) -> list[tuple[int, list[Region], list[int]]]:
+        """Per-source coalescing groups for rank ``dst``; region order
+        matches the sender's :meth:`send_groups` order, so one packed
+        buffer per pair unpacks positionally."""
+        if not (0 <= dst < self.dst_nranks):
+            return []
+        return self._recv_groups[dst]
+
+    @property
+    def pair_count(self) -> int:
+        """Number of communicating (src, dst) rank pairs — the packed
+        executors' message count."""
+        return sum(len(g) for g in self._send_groups)
 
     # -- metrics -----------------------------------------------------------------
 
@@ -127,13 +191,25 @@ class LinearSchedule:
         self.items = sorted(items, key=lambda it: (it.src, it.dst, it.run.lo))
         self.src_nranks = src_nranks
         self.dst_nranks = dst_nranks
+        sends: list[list[tuple[int, Run]]] = [[] for _ in range(src_nranks)]
+        recvs: list[list[tuple[int, Run]]] = [[] for _ in range(dst_nranks)]
+        for it in self.items:
+            sends[it.src].append((it.dst, it.run))
+            recvs[it.dst].append((it.src, it.run))
+        for lst in recvs:
+            lst.sort(key=lambda t: (t[0], t[1].lo))
+        self._sends = sends
+        self._recvs = recvs
 
     def sends_from(self, src: int) -> list[tuple[int, Run]]:
-        return [(it.dst, it.run) for it in self.items if it.src == src]
+        if not (0 <= src < self.src_nranks):
+            return []
+        return list(self._sends[src])
 
     def recvs_at(self, dst: int) -> list[tuple[int, Run]]:
-        return sorted(((it.src, it.run) for it in self.items if it.dst == dst),
-                      key=lambda t: (t[0], t[1].lo))
+        if not (0 <= dst < self.dst_nranks):
+            return []
+        return list(self._recvs[dst])
 
     @property
     def message_count(self) -> int:

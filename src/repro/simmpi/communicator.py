@@ -9,12 +9,22 @@ Collectives are implemented over point-to-point with internal tags.  A
 per-rank collective sequence counter keeps internal tags aligned, which
 is sound under the usual MPI rule that all ranks of a communicator call
 collectives in the same order.
+
+``barrier``/``bcast``/``gather`` (and through them ``allgather``,
+``reduce``, ``allreduce``, ``scan``, ``dup``, ``split``) run binomial
+log-P tree algorithms by default: the total message count is identical
+to the historical flat loops (P-1 per rooted collective, 2(P-1) per
+barrier), but the critical path shrinks from O(P) serialized sends at
+the root to O(log P) levels, which is what the coupling benchmarks and
+the DCA engine sit on top of.  Set :attr:`Communicator.coll_algo` to
+``"flat"`` (consistently on every rank) to restore the flat loops —
+kept for the tree-vs-flat equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Callable, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -43,8 +53,27 @@ def allocate_context() -> int:
         return cid
 
 
+class _TreeRaw:
+    """Marker carrying a ``payload.Raw`` value down the bcast tree.
+
+    Lets intermediate ranks recognize that the value they are relaying
+    is a process-local handle and must be re-wrapped in ``Raw`` (zero
+    copy, never pickled) before forwarding to their children.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
 class Communicator:
     """An ordered group of ranks with isolated message context."""
+
+    #: Collective algorithm: "tree" (binomial, log-P critical path) or
+    #: "flat" (the historical root-serialized loops).  Every rank of a
+    #: communicator must use the same value.
+    coll_algo = "tree"
 
     def __init__(self, job: "Job", context: int, rank: int,
                  job_ranks: Sequence[int]):
@@ -138,19 +167,82 @@ class Communicator:
         return INTERNAL_TAG_BASE + (self._coll_seq & 0xFFFFF)
 
     def barrier(self) -> None:
-        """Central-counter barrier (gather a token at rank 0, then release)."""
+        """Barrier: binomial reduce-to-0 then binomial release (log-P
+        depth); "flat" mode gathers a token at rank 0 and releases."""
         tag = self._next_coll_tag()
         self.job.counters.add("barriers")
         if self.size == 1:
             return
-        if self._rank == 0:
-            for _ in range(self.size - 1):
-                self.recv(ANY_SOURCE, tag)
-            for r in range(1, self.size):
-                self.send(None, r, tag)
+        if self.coll_algo == "flat":
+            if self._rank == 0:
+                for _ in range(self.size - 1):
+                    self.recv(ANY_SOURCE, tag)
+                for r in range(1, self.size):
+                    self.send(None, r, tag)
+            else:
+                self.send(None, 0, tag)
+                self.recv(0, tag)
+            return
+        size, vrank = self.size, self._rank
+        # Arrival phase: wait for each subtree, then notify the parent.
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                self.send(None, vrank - mask, tag)
+                break
+            child = vrank | mask
+            if child < size:
+                self.recv(child, tag)
+            mask <<= 1
+        # Release phase: the bcast tree in reverse direction.
+        self._tree_bcast_value(None, 0, tag)
+
+    def _tree_children(self, vrank: int, size: int) -> list[int]:
+        """Children of ``vrank`` in a binomial tree over [0, size),
+        highest subtree first (the order the bcast wave descends)."""
+        mask = 1
+        while mask < size and not (vrank & mask):
+            mask <<= 1
+        children = []
+        mask >>= 1
+        while mask:
+            child = vrank | mask
+            if child < size and child != vrank:
+                children.append(child)
+            mask >>= 1
+        return children
+
+    def _tree_bcast_value(self, obj: Any, root: int, tag: int) -> Any:
+        """Binomial broadcast of ``obj`` from ``root`` using ``tag``;
+        returns the value on every rank (the root's own object as-is).
+
+        :class:`~repro.simmpi.payload.Raw`-wrapped payloads (process-
+        local handles that must never be pickled) stay zero-copy across
+        *every* hop: the value travels inside a :class:`_TreeRaw` marker
+        that each intermediate rank re-wraps in ``Raw`` before
+        forwarding, mirroring what the single-hop flat loop did.
+        """
+        size = self.size
+        vrank = (self._rank - root) % size
+        if vrank == 0:
+            if isinstance(obj, payload.Raw):
+                wire: Any = payload.Raw(_TreeRaw(obj.value))
+            else:
+                wire = obj
+            value = obj
         else:
-            self.send(None, 0, tag)
-            self.recv(0, tag)
+            # Parent: vrank with its lowest set bit cleared.
+            parent_v = vrank - (vrank & -vrank)
+            got = self.recv((parent_v + root) % size, tag)
+            if isinstance(got, _TreeRaw):
+                wire = payload.Raw(got)
+                value = got.value
+            else:
+                wire = got
+                value = got
+        for child_v in self._tree_children(vrank, size):
+            self.send(wire, (child_v + root) % size, tag)
+        return value
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns the value."""
@@ -158,12 +250,14 @@ class Communicator:
         tag = self._next_coll_tag()
         if self.size == 1:
             return obj
-        if self._rank == root:
-            for r in range(self.size):
-                if r != root:
-                    self.send(obj, r, tag)
-            return obj
-        return self.recv(root, tag)
+        if self.coll_algo == "flat":
+            if self._rank == root:
+                for r in range(self.size):
+                    if r != root:
+                        self.send(obj, r, tag)
+                return obj
+            return self.recv(root, tag)
+        return self._tree_bcast_value(obj, root, tag)
 
     def scatter(self, seq: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter one element of ``seq`` (length ``size``, root only) to
@@ -182,19 +276,40 @@ class Communicator:
         return self.recv(root, tag)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        """Gather one value per rank to ``root`` (others return None)."""
+        """Gather one value per rank to ``root`` (others return None).
+
+        Tree mode merges subtree contributions up a binomial tree: the
+        same P-1 messages as the flat loop, but the root receives log P
+        aggregated messages instead of P-1 serialized ones.
+        """
         self._check_rank(root, "root")
         tag = self._next_coll_tag()
-        if self._rank == root:
-            out: list[Any] = [None] * self.size
-            mine, _ = payload.pack(obj)
-            out[root] = mine
-            for _ in range(self.size - 1):
-                val, st = self.recv(ANY_SOURCE, tag, return_status=True)
-                out[st.source] = val
-            return out
-        self.send(obj, root, tag)
-        return None
+        if self.coll_algo == "flat":
+            if self._rank == root:
+                out: list[Any] = [None] * self.size
+                mine, _ = payload.pack(obj)
+                out[root] = mine
+                for _ in range(self.size - 1):
+                    val, st = self.recv(ANY_SOURCE, tag, return_status=True)
+                    out[st.source] = val
+                return out
+            self.send(obj, root, tag)
+            return None
+        size = self.size
+        vrank = (self._rank - root) % size
+        mine, _ = payload.pack(obj)
+        acc: dict[int, Any] = {vrank: mine}
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                # Hand the whole subtree to the parent and stop.
+                self.send(acc, ((vrank - mask) + root) % size, tag)
+                return None
+            child = vrank | mask
+            if child < size:
+                acc.update(self.recv((child + root) % size, tag))
+            mask <<= 1
+        return [acc[(r - root) % size] for r in range(size)]
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather then broadcast: every rank returns the full list."""

@@ -14,7 +14,7 @@ abort flag so a detected deadlock raises instead of hanging forever.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import DeadlockError

@@ -182,6 +182,24 @@ class Region:
         return f"Region[{spans}]"
 
 
+def intersect_boxes(a_lo: np.ndarray, a_hi: np.ndarray,
+                    b_lo: np.ndarray, b_hi: np.ndarray,
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized pairwise intersection of two batches of boxes.
+
+    All inputs are ``(k, ndim)`` integer arrays of half-open bounds; row
+    ``i`` of the ``a`` arrays is intersected with row ``i`` of the ``b``
+    arrays.  Returns ``(lo, hi, nonempty)`` where ``nonempty[i]`` is True
+    when the intersection has positive volume on every axis.  This is
+    the batch core of the sweep-line schedule builder: candidate pairs
+    found by the per-axis sweep are clipped in one NumPy pass instead of
+    one :meth:`Region.intersect` call each.
+    """
+    lo = np.maximum(a_lo, b_lo)
+    hi = np.minimum(a_hi, b_hi)
+    return lo, hi, (hi > lo).all(axis=-1)
+
+
 class RegionList:
     """An ordered collection of disjoint regions with set-like queries.
 
@@ -198,11 +216,21 @@ class RegionList:
             self._check_disjoint()
 
     def _check_disjoint(self) -> None:
-        # O(k^2) pairwise check; region lists are per-rank and small.
-        for i, a in enumerate(self.regions):
-            for b in self.regions[i + 1:]:
-                if a.intersect(b) is not None:
-                    raise DistributionError(f"overlapping regions: {a} and {b}")
+        # Sort-and-sweep along the first axis: a region can only collide
+        # with regions whose axis-0 slab it overlaps, so each candidate
+        # pair is checked at most once and the all-pairs quadratic cost
+        # only survives inside a single overlapping slab.
+        if len(self.regions) < 2:
+            return
+        ordered = sorted(self.regions, key=lambda r: r.lo[0])
+        active: list[Region] = []
+        for r in ordered:
+            lo0 = r.lo[0]
+            active = [a for a in active if a.hi[0] > lo0]
+            for a in active:
+                if a.intersect(r) is not None:
+                    raise DistributionError(f"overlapping regions: {a} and {r}")
+            active.append(r)
 
     @property
     def volume(self) -> int:

@@ -1,6 +1,5 @@
 """Distributed framework tests: RMI ports between coupled jobs (Fig. 2)."""
 
-import numpy as np
 import pytest
 
 from repro.cca import Component

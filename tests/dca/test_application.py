@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cca.sidl import arg, method, port
-from repro.dca import DCAApplication, DCAParallelArg, DeliveryPolicy
+from repro.dca import DCAApplication, DCAParallelArg
 from repro.errors import PortError
 
 CALC_PORT = port("Calc", method("scale", arg("x")))

@@ -13,7 +13,6 @@ from repro.dad import (
     DistributedArray,
 )
 from repro.linearize import DenseLinearization
-from repro.linearize.linearization import Run
 from repro.schedule import build_linear_schedule
 
 

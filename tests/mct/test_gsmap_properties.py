@@ -1,7 +1,6 @@
 """Property-based tests for GlobalSegMap and gsmap-schedule transfers."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mct import AttrVect, GlobalSegMap, Rearranger

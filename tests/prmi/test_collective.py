@@ -1,6 +1,5 @@
 """Collective PRMI tests: M×N invocation with ghost bookkeeping."""
 
-import numpy as np
 import pytest
 
 from repro.cca.sidl import arg, method, port

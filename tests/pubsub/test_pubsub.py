@@ -6,7 +6,7 @@ import pytest
 
 from repro.dad import DistArrayDescriptor, DistributedArray
 from repro.dad.template import block_template
-from repro.pipeline import AffineFilter, UnitConversion
+from repro.pipeline import UnitConversion
 from repro.pubsub import Publisher, Subscriber, SubscriptionBoard
 from repro.simmpi import NameService, run_coupled
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import CommunicatorError
-from repro.simmpi import ANY_SOURCE, run_spmd
+from repro.simmpi import run_spmd
 from repro.simmpi.ops import resolve_op
 from repro.simmpi.request import wait_all
 

@@ -1,6 +1,5 @@
 """Communicator construction: dup, split, subcommunicators."""
 
-import pytest
 
 from repro.simmpi import run_spmd
 

@@ -1,0 +1,137 @@
+"""Tree vs. flat collectives: identical values, identical message totals.
+
+The binomial algorithms change the *shape* of the communication (log-P
+critical path instead of a root-serialized loop) but not its semantics:
+every rooted collective still moves exactly P-1 messages and a barrier
+2(P-1), so the flat implementations serve as an executable oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import NameService, run_coupled, run_spmd
+
+
+def _run_both(n, body):
+    """Run ``body(comm)`` once under tree and once under flat collectives;
+    returns ((tree_results, tree_msgs), (flat_results, flat_msgs))."""
+    out = []
+    for algo in ("tree", "flat"):
+        def main(comm, algo=algo):
+            comm.coll_algo = algo
+            # counters are shared per job; snapshot after all threads join
+            return body(comm), comm.counters
+
+        results = run_spmd(n, main)
+        out.append(([r[0] for r in results],
+                    results[0][1].get("internal_msgs")))
+    return out
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+def test_bcast_tree_equals_flat(n):
+    def body(comm):
+        data = {"v": list(range(10)), "r": "root"} if comm.rank == 1 else None
+        return comm.bcast(data, root=1)
+
+    (tree_vals, tree_msgs), (flat_vals, flat_msgs) = _run_both(n, body)
+    assert tree_vals == flat_vals
+    assert tree_msgs == flat_msgs  # both: n-1 messages per bcast
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 7])
+def test_gather_tree_equals_flat(n):
+    def body(comm):
+        return comm.gather(np.full(comm.rank + 1, comm.rank), root=0)
+
+    (tree_vals, tree_msgs), (flat_vals, flat_msgs) = _run_both(n, body)
+    assert tree_msgs == flat_msgs
+    assert tree_vals[1:] == flat_vals[1:]  # non-roots return None
+    for a, b in zip(tree_vals[0], flat_vals[0]):
+        np.testing.assert_array_equal(a, b)
+
+
+@pytest.mark.parametrize("n", [2, 3, 6])
+def test_allgather_and_reductions(n):
+    def body(comm):
+        return (comm.allgather(comm.rank * 3),
+                comm.allreduce(comm.rank + 1, op="sum"),
+                comm.scan(comm.rank + 1, op="sum"))
+
+    (tree_vals, tree_msgs), (flat_vals, flat_msgs) = _run_both(n, body)
+    assert tree_vals == flat_vals
+    assert tree_msgs == flat_msgs
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8])
+def test_barrier_message_accounting(n):
+    def main(comm):
+        for _ in range(3):
+            comm.barrier()
+        return comm.counters
+
+    counters = run_spmd(n, main)[0]
+    assert counters.get("barriers") == 3 * n
+    if n > 1:
+        # 2(n-1) internal messages per barrier, same total as the flat
+        # central-counter barrier — only the depth differs.
+        assert counters.get("internal_msgs") == 3 * 2 * (n - 1)
+
+
+def test_bcast_isolation_under_tree():
+    """Multi-hop forwarding must still hand every rank its own copy."""
+    def main(comm):
+        data = [1, 2] if comm.rank == 0 else None
+        got = comm.bcast(data, root=0)
+        got.append(comm.rank)
+        return got
+
+    assert run_spmd(5, main) == [[1, 2, r] for r in range(5)]
+
+
+def test_raw_handles_survive_multi_hop_bcast():
+    """NameService handshakes bcast process-local (unpicklable) handles;
+    the tree must forward them zero-copy through intermediate ranks."""
+    ns = NameService()
+
+    def a(comm):
+        inter = ns.accept("tree-raw", comm)
+        if comm.rank == 0:
+            inter.send(("hello", comm.rank), dest=0)
+        return inter.remote_size
+
+    def b(comm):
+        inter = ns.connect("tree-raw", comm)
+        if comm.rank == 0:
+            assert inter.recv(source=0) == ("hello", 0)
+        return inter.remote_size
+
+    # 5 and 6 ranks force multi-level trees on both sides of the bridge.
+    out = run_coupled([("a", 5, a, ()), ("b", 6, b, ())])
+    assert out["a"] == [6] * 5 and out["b"] == [5] * 6
+
+
+def test_nonzero_root_tree_gather_order():
+    def main(comm):
+        return comm.gather(comm.rank ** 2, root=2)
+
+    results = run_spmd(6, main)
+    assert results[2] == [r ** 2 for r in range(6)]
+    assert all(results[i] is None for i in range(6) if i != 2)
+
+
+def test_split_and_dup_still_work_at_depth():
+    """split/dup ride on bcast/allgather; exercise them at sizes that
+    need multi-hop trees."""
+    def main(comm):
+        sub = comm.split(comm.rank % 2, key=-comm.rank)
+        val = sub.allreduce(comm.rank, op="sum")
+        dup = comm.dup()
+        return val, dup.bcast(comm.rank, root=0)
+
+    results = run_spmd(7, main)
+    evens = sum(r for r in range(7) if r % 2 == 0)
+    odds = sum(r for r in range(7) if r % 2 == 1)
+    for rank, (val, b) in enumerate(results):
+        assert val == (evens if rank % 2 == 0 else odds)
+        assert b == 0

@@ -1,6 +1,6 @@
 """Property-based tests for the region algebra (hypothesis)."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.util.regions import Region, RegionList
 
