@@ -34,6 +34,7 @@ EXPERIMENTS = [
     ("A3", "bench_pipeline_fusion"),
     ("A4", "bench_coupling_styles"),
     ("A5", "bench_schedule_scaling"),
+    ("A6", "bench_pack_throughput"),
 ]
 
 

@@ -23,6 +23,17 @@ class DistributedArray:
 
     Create with :meth:`allocate` (zeros) or :meth:`from_global`
     (sampling a replicated global array — test/bootstrap convenience).
+
+    Local storage is **consolidated**: one contiguous row-major base
+    buffer holds every owned patch (patches sorted by ``region.lo``,
+    each flattened row-major), and ``self.patches`` maps each region to
+    a shaped *view* into that buffer.  :meth:`flat_local` exposes the
+    base buffer, which is what the compiled gather/scatter index plans
+    (:mod:`repro.schedule.indexplan`) address — a single ``take`` or
+    fancy assignment there reads/writes every patch at once, and slice
+    views of it are zero-copy send buffers.  Patch data handed to the
+    constructor is copied into the base buffer (value semantics, as
+    :meth:`from_global` always had).
     """
 
     def __init__(self, descriptor: DistArrayDescriptor, rank: int,
@@ -30,18 +41,33 @@ class DistributedArray:
         descriptor.template._check_rank(rank)
         self.descriptor = descriptor
         self.rank = rank
-        owned = list(descriptor.local_regions(rank))
+        owned = sorted(descriptor.local_regions(rank), key=lambda r: r.lo)
         if set(patches) != set(owned):
             raise AlignmentError(
                 f"patch regions {sorted(patches, key=lambda r: r.lo)} do not "
-                f"match ownership {sorted(owned, key=lambda r: r.lo)} "
-                f"of rank {rank}")
+                f"match ownership {owned} of rank {rank}")
         for region, arr in patches.items():
             if arr.shape != region.shape:
                 raise AlignmentError(
                     f"patch storage shape {arr.shape} != region shape "
                     f"{region.shape}")
-        self.patches = dict(patches)
+        self._base = np.empty(sum(r.volume for r in owned),
+                              dtype=descriptor.dtype)
+        self.patches = self._bind_patches(owned)
+        for region, view in self.patches.items():
+            view[...] = patches[region]
+
+    def _bind_patches(self, owned: list[Region]) -> dict[Region, np.ndarray]:
+        """Carve the base buffer into one shaped view per owned region
+        (lo-sorted order — the layout index plans are compiled against).
+        """
+        views: dict[Region, np.ndarray] = {}
+        off = 0
+        for region in owned:
+            views[region] = self._base[off:off + region.volume].reshape(
+                region.shape)
+            off += region.volume
+        return views
 
     # -- constructors -----------------------------------------------------
 
@@ -49,11 +75,15 @@ class DistributedArray:
     def allocate(cls, descriptor: DistArrayDescriptor,
                  rank: int) -> "DistributedArray":
         """Zero-initialized local storage for ``rank``."""
-        patches = {
-            region: np.zeros(region.shape, dtype=descriptor.dtype)
-            for region in descriptor.local_regions(rank)
-        }
-        return cls(descriptor, rank, patches)
+        obj = cls.__new__(cls)
+        descriptor.template._check_rank(rank)
+        obj.descriptor = descriptor
+        obj.rank = rank
+        owned = sorted(descriptor.local_regions(rank), key=lambda r: r.lo)
+        obj._base = np.zeros(sum(r.volume for r in owned),
+                             dtype=descriptor.dtype)
+        obj.patches = obj._bind_patches(owned)
+        return obj
 
     @classmethod
     def from_global(cls, descriptor: DistArrayDescriptor, rank: int,
@@ -62,11 +92,10 @@ class DistributedArray:
         descriptor.check_alignment(global_array.shape)
         if global_array.dtype != descriptor.dtype:
             global_array = global_array.astype(descriptor.dtype)
+        # The constructor copies into the consolidated base buffer, so
+        # passing slices (views) here never aliases the caller's array.
         patches = {
-            # Explicit copy: a contiguous slice would otherwise remain a
-            # view of the caller's array, and local in-place updates
-            # would silently leak back into it.
-            region: np.array(global_array[region.to_slices()], copy=True)
+            region: global_array[region.to_slices()]
             for region in descriptor.local_regions(rank)
         }
         return cls(descriptor, rank, patches)
@@ -124,12 +153,18 @@ class DistributedArray:
             f"element {point} not owned by rank {self.rank}")
 
     def fill(self, value) -> None:
-        for arr in self.patches.values():
-            arr.fill(value)
+        self._base.fill(value)
+
+    def flat_local(self) -> np.ndarray:
+        """The consolidated 1-D local buffer: owned patches sorted by
+        ``region.lo``, each row-major.  A *view* — writes go straight
+        through to the patches.  This is the address space of the
+        compiled index plans (:mod:`repro.schedule.indexplan`)."""
+        return self._base
 
     @property
     def local_volume(self) -> int:
-        return sum(arr.size for arr in self.patches.values())
+        return self._base.size
 
     def iter_patches(self) -> Iterable[tuple[Region, np.ndarray]]:
         """Owned (region, storage) pairs in deterministic order."""

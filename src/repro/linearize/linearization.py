@@ -87,6 +87,24 @@ class Linearization(ABC):
     def inject(self, rank: int, run: Run, values: np.ndarray, storage) -> None:
         """Write ``values`` into the positions of ``run`` in ``storage``."""
 
+    # -- flat-index plan support (optional) -------------------------------
+
+    def flat_storage(self, rank: int, storage) -> np.ndarray | None:
+        """The rank's 1-D local buffer that :meth:`run_indices` values
+        address, or ``None`` when this linearization has no flat-index
+        support (e.g. dict-backed graph storage).  When non-``None``,
+        the schedule executors compile gather/scatter index plans and
+        move each pair's runs with one vectorized call instead of one
+        :meth:`extract`/:meth:`inject` per run."""
+        return None
+
+    def run_indices(self, rank: int, run: Run) -> np.ndarray:
+        """Flat indices of ``run``'s positions inside ``rank``'s flat
+        storage, in linear order.  Only meaningful when
+        :meth:`flat_storage` returns a buffer."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no flat-index plan support")
+
     # -- shared -----------------------------------------------------------
 
     def descriptor_entries(self) -> int:
@@ -121,6 +139,11 @@ class DenseLinearization(Linearization):
         self.nranks = descriptor.nranks
         self._strides = row_major_strides(descriptor.shape)
         self._runs_cache: dict[int, list[Run]] = {}
+        #: rank -> (glo, ghi, lbase) int64 arrays: the rank's owned
+        #: global-linear intervals (ascending) and the flat-local
+        #: position of each interval's first element.
+        self._table_cache: dict[int, tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]] = {}
 
     @property
     def total(self) -> int:
@@ -166,53 +189,75 @@ class DenseLinearization(Linearization):
 
     # -- data movement ------------------------------------------------------
 
-    def _patch_segments(self, darray: DistributedArray, run: Run):
-        """Yield (values_view, lin_lo) pieces of ``run`` from local patches."""
-        for region, arr in darray.iter_patches():
-            for patch_run in self._region_runs(region):
-                inter = patch_run.intersect(run)
-                if inter is None:
-                    continue
-                flat = arr.reshape(-1)
-                # linear offset inside this patch run -> offset into the
-                # patch's flat storage
-                base = self._patch_flat_base(region, patch_run)
-                yield flat[base + (inter.lo - patch_run.lo):
-                           base + (inter.hi - patch_run.lo)], inter.lo
+    def _local_table(self, rank: int) -> tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]:
+        """(glo, ghi, lbase) interval table mapping the rank's owned
+        global-linear positions to its flat-local storage.
 
-    def _patch_flat_base(self, region: Region, patch_run: Run) -> int:
-        """Flat offset (within the patch's local storage) of the first
-        element of ``patch_run``."""
-        # Reconstruct the global coords of the run start, localize them.
-        rem = patch_run.lo
-        coords = []
-        for s in self._strides:
-            coords.append(rem // s)
-            rem %= s
-        local = tuple(c - l for c, l in zip(coords, region.lo))
-        local_strides = row_major_strides(region.shape)
-        return sum(c * s for c, s in zip(local, local_strides))
+        Built once per rank: patches enumerate in lo-sorted order (the
+        :meth:`~repro.dad.darray.DistributedArray.flat_local` layout),
+        and each patch's row-major enumeration visits global offsets in
+        ascending order run by run, so local positions are the running
+        element count.
+        """
+        table = self._table_cache.get(rank)
+        if table is None:
+            glo: list[int] = []
+            ghi: list[int] = []
+            lbase: list[int] = []
+            off = 0
+            for region in sorted(self.descriptor.local_regions(rank),
+                                 key=lambda r: r.lo):
+                for patch_run in self._region_runs(region):
+                    glo.append(patch_run.lo)
+                    ghi.append(patch_run.hi)
+                    lbase.append(off)
+                    off += patch_run.length
+            order = np.argsort(np.asarray(glo, dtype=np.int64)) \
+                if glo else np.empty(0, dtype=np.intp)
+            table = (np.asarray(glo, dtype=np.int64)[order],
+                     np.asarray(ghi, dtype=np.int64)[order],
+                     np.asarray(lbase, dtype=np.int64)[order])
+            self._table_cache[rank] = table
+        return table
+
+    def run_indices(self, rank: int, run: Run) -> np.ndarray:
+        """Flat-local indices of ``run``, via binary search over the
+        rank's interval table — O(log intervals + overlapping
+        segments), not a walk over every patch."""
+        glo, ghi, lbase = self._local_table(rank)
+        parts: list[np.ndarray] = []
+        pos = run.lo
+        i = int(np.searchsorted(ghi, pos, side="right"))
+        while pos < run.hi:
+            if i >= glo.size or glo[i] > pos:
+                raise ScheduleError(
+                    f"rank {rank} does not own all of linear run "
+                    f"[{run.lo},{run.hi})")
+            stop = min(run.hi, int(ghi[i]))
+            base = int(lbase[i]) - int(glo[i])
+            parts.append(np.arange(base + pos, base + stop, dtype=np.int64))
+            pos = stop
+            i += 1
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts) if parts else \
+            np.empty(0, dtype=np.int64)
+
+    def flat_storage(self, rank: int,
+                     storage: DistributedArray) -> np.ndarray:
+        return storage.flat_local()
 
     def extract(self, rank: int, run: Run,
                 storage: DistributedArray) -> np.ndarray:
-        pieces = sorted(self._patch_segments(storage, run),
-                        key=lambda p: p[1])
-        if sum(len(v) for v, _ in pieces) != run.length:
-            raise ScheduleError(
-                f"rank {rank} does not own all of linear run "
-                f"[{run.lo},{run.hi})")
-        return np.concatenate([v for v, _ in pieces]) if pieces else \
-            np.empty(0, dtype=storage.descriptor.dtype)
+        return storage.flat_local().take(self.run_indices(rank, run))
 
     def inject(self, rank: int, run: Run, values: np.ndarray,
                storage: DistributedArray) -> None:
-        written = 0
-        for view, lin_lo in sorted(self._patch_segments(storage, run),
-                                   key=lambda p: p[1]):
-            n = len(view)
-            view[:] = values[lin_lo - run.lo:lin_lo - run.lo + n]
-            written += n
-        if written != run.length:
+        idx = self.run_indices(rank, run)
+        values = np.asarray(values).reshape(-1)
+        if values.size != idx.size:
             raise ScheduleError(
-                f"rank {rank} could not inject full run "
-                f"[{run.lo},{run.hi}): wrote {written}")
+                f"rank {rank}: inject of run [{run.lo},{run.hi}) got "
+                f"{values.size} values for {idx.size} positions")
+        storage.flat_local()[idx] = values

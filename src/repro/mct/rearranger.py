@@ -2,7 +2,10 @@
 
 The same schedule machinery as the :class:`~repro.mct.router.Router`,
 but both decompositions live on one model's communicator — every rank
-is (potentially) both a source and a destination.
+is (potentially) both a source and a destination.  Like the Router, the
+transfer runs on compiled row-index plans: one multi-field 2-D block
+per communicating rank pair, with zero-copy slice views when a pair's
+runs are adjacent in local storage.
 """
 
 from __future__ import annotations
@@ -10,7 +13,7 @@ from __future__ import annotations
 from repro.errors import MCTError
 from repro.mct.attrvect import AttrVect
 from repro.mct.gsmap import GlobalSegMap
-from repro.mct.router import _run_view, build_gsmap_schedule
+from repro.mct.router import _pair_rows, _run_row_indices, build_gsmap_schedule
 from repro.simmpi.communicator import Communicator
 
 REARRANGE_TAG = 161
@@ -31,7 +34,8 @@ class Rearranger:
     def rearrange(self, comm: Communicator, av_src: AttrVect,
                   av_dst: AttrVect, *, tag: int = REARRANGE_TAG) -> int:
         """Collective: move ``av_src`` (src decomposition) into
-        ``av_dst`` (dst decomposition).  Returns elements received."""
+        ``av_dst`` (dst decomposition).  One message per communicating
+        rank pair, all fields fused.  Returns elements received."""
         if comm.size != self.src_gsmap.nranks:
             raise MCTError(
                 f"communicator size {comm.size} != GlobalSegMap ranks "
@@ -40,11 +44,17 @@ class Rearranger:
             raise MCTError(
                 f"field lists differ: {av_src.fields} vs {av_dst.fields}")
         me = comm.rank
-        for d, run in self.schedule.sends_from(me):
-            comm.send(_run_view(av_src, self.src_gsmap, me, run), d, tag)
+        src_gsmap, dst_gsmap = self.src_gsmap, self.dst_gsmap
+        send_plan = self.schedule.send_plan(
+            me, lambda run: _run_row_indices(src_gsmap, me, run))
+        for pp in send_plan.pairs:
+            comm.send(_pair_rows(pp, av_src), pp.peer, tag)
         received = 0
-        for s, run in self.schedule.recvs_at(me):
-            view = _run_view(av_dst, self.dst_gsmap, me, run)
-            view[:] = comm.recv(source=s, tag=tag)
-            received += run.length
+        recv_plan = self.schedule.recv_plan(
+            me, lambda run: _run_row_indices(dst_gsmap, me, run))
+        for pp in recv_plan.pairs:
+            rows = pp.idx if pp.idx is not None else \
+                slice(pp.lo, pp.lo + pp.size)
+            av_dst.data[rows, :] = comm.recv(source=pp.peer, tag=tag)
+            received += pp.size
         return received

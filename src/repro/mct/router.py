@@ -2,10 +2,22 @@
 
 Built once from the source and destination GlobalSegMaps (schedule
 reuse), a Router moves an AttrVect between two models living on
-disjoint rank sets of the world communicator.  All fields of a transfer
-unit travel in one message (columns of the AttrVect matrix) — the
-multi-field idiom; ``fused=False`` ships field-by-field for the E13
-ablation.
+disjoint rank sets of the world communicator.
+
+The transfer runs on **compiled row-index plans**: at first use the
+Router turns each (src, dst) rank pair's runs into one flat row-index
+array over the AttrVect's local storage (cached on the schedule), so
+every pair exchanges exactly **one message** carrying a single 2-D
+``(rows, nfields)`` block — all of the pair's runs coalesced in
+ascending global order, all fields fused as AttrVect columns.  When a
+pair's runs are adjacent in local storage the plan degenerates to a
+slice and the send block is a zero-copy view.
+
+``fused=False`` (the E13 ablation) now *only* controls field fusion: it
+ships one 1-D per-field message per rank pair (``nfields`` messages per
+pair) instead of the single 2-D block, but runs stay coalesced per pair
+either way — the historical one-message-per-run-per-field protocol is
+gone.
 """
 
 from __future__ import annotations
@@ -47,15 +59,23 @@ def build_gsmap_schedule(src: GlobalSegMap,
                                  _GsmapLinearization(dst))
 
 
-def _run_view(av: AttrVect, gsmap: GlobalSegMap, pe: int, run) -> np.ndarray:
-    """View of the AttrVect rows holding global interval ``run``.
+def _run_row_indices(gsmap: GlobalSegMap, pe: int, run) -> np.ndarray:
+    """Local AttrVect row indices of global interval ``run`` on ``pe``.
 
-    Valid because local storage order follows segments sorted by global
-    start, so a (sub-)run of coalesced adjacent segments is contiguous
-    locally.
+    A single ascending range: local storage order follows segments
+    sorted by global start, so a (sub-)run of coalesced adjacent
+    segments is contiguous locally.
     """
     off = gsmap.local_offset(pe, run.lo)
-    return av.data[off:off + run.length, :]
+    return np.arange(off, off + run.length, dtype=np.int64)
+
+
+def _pair_rows(plan_pair, av: AttrVect) -> np.ndarray:
+    """The AttrVect rows a compiled pair plan addresses — a zero-copy
+    slice view on the contiguous fast path, a fancy-gather otherwise."""
+    if plan_pair.idx is None:
+        return av.data[plan_pair.lo:plan_pair.lo + plan_pair.size, :]
+    return av.data[plan_pair.idx, :]
 
 
 class Router:
@@ -87,7 +107,11 @@ class Router:
 
         Source ranks pass ``av_send``; destination ranks pass
         ``av_recv``.  A rank in neither model passes nothing and the
-        call is a no-op there.  Returns elements moved at this rank.
+        call is a no-op there.  Runs are always coalesced to one block
+        per (src, dst) rank pair; ``fused`` only controls whether the
+        block's fields travel together (one 2-D message) or one field
+        per message.  Both models must agree on ``fused``.  Returns
+        elements moved at this rank.
         """
         comm = self.world.world
         me = comm.rank
@@ -101,15 +125,18 @@ class Router:
                 raise MCTError(
                     f"send AttrVect lsize {av_send.lsize} != gsmap local "
                     f"size {self.src_gsmap.local_size(s)}")
-            for d, run in self.schedule.sends_from(s):
-                block = _run_view(av_send, self.src_gsmap, s, run)
+            gsmap = self.src_gsmap
+            plan = self.schedule.send_plan(
+                s, lambda run: _run_row_indices(gsmap, s, run))
+            for pp in plan.pairs:
+                block = _pair_rows(pp, av_send)
                 if fused:
-                    comm.send(block, self._dst_ranks[d], tag)
+                    comm.send(block, self._dst_ranks[pp.peer], tag)
                 else:
                     for col in range(block.shape[1]):
-                        comm.send(block[:, col].copy(),
-                                  self._dst_ranks[d], tag)
-                moved += run.length
+                        comm.send(np.ascontiguousarray(block[:, col]),
+                                  self._dst_ranks[pp.peer], tag)
+                moved += pp.size
         if me in self._dst_ranks:
             if av_recv is None:
                 raise MCTError(f"rank {me} is in {self.dst_model!r} but "
@@ -119,15 +146,20 @@ class Router:
                 raise MCTError(
                     f"recv AttrVect lsize {av_recv.lsize} != gsmap local "
                     f"size {self.dst_gsmap.local_size(d)}")
-            for s, run in self.schedule.recvs_at(d):
-                view = _run_view(av_recv, self.dst_gsmap, d, run)
+            gsmap = self.dst_gsmap
+            plan = self.schedule.recv_plan(
+                d, lambda run: _run_row_indices(gsmap, d, run))
+            for pp in plan.pairs:
+                rows = pp.idx if pp.idx is not None else \
+                    slice(pp.lo, pp.lo + pp.size)
                 if fused:
-                    view[:] = comm.recv(source=self._src_ranks[s], tag=tag)
+                    av_recv.data[rows, :] = comm.recv(
+                        source=self._src_ranks[pp.peer], tag=tag)
                 else:
-                    for col in range(view.shape[1]):
-                        view[:, col] = comm.recv(
-                            source=self._src_ranks[s], tag=tag)
-                moved += run.length
+                    for col in range(av_recv.nfields):
+                        av_recv.data[rows, col] = comm.recv(
+                            source=self._src_ranks[pp.peer], tag=tag)
+                moved += pp.size
         return moved
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

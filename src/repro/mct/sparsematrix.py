@@ -82,6 +82,15 @@ class SparseMatrix:
         self.nnz_local = int(vals.size)
 
 
+def _rows_selector(idx: np.ndarray):
+    """Compile a row-index array into its cheapest selector: a slice
+    when the indices are one ascending unit-stride range (slice-gather
+    is a zero-copy view on read), else the array itself."""
+    if idx.size and (idx.size == 1 or bool((np.diff(idx) == 1).all())):
+        return slice(int(idx[0]), int(idx[0]) + int(idx.size))
+    return idx
+
+
 @dataclass
 class _HaloPlan:
     #: per peer rank: local x offsets to SEND (their needs from me)
@@ -89,6 +98,15 @@ class _HaloPlan:
     #: per peer rank: rows of the assembled halo buffer to FILL on recv
     recv_positions: list[np.ndarray]
     halo_size: int
+    #: compiled selectors (slice fast path where contiguous)
+    send_sel: list = None
+    recv_sel: list = None
+
+    def __post_init__(self) -> None:
+        if self.send_sel is None:
+            self.send_sel = [_rows_selector(o) for o in self.send_offsets]
+        if self.recv_sel is None:
+            self.recv_sel = [_rows_selector(p) for p in self.recv_positions]
 
 
 class InterpolationScheduler:
@@ -155,30 +173,30 @@ class InterpolationScheduler:
             raise MCTError("y AttrVect does not match matrix rows/fields")
 
         # Halo exchange: serve peers' needs, then assemble my halo.
+        # Each peer gets one multi-field (rows, nfields) block; compiled
+        # selectors make the gather a zero-copy slice view whenever a
+        # peer's needs are contiguous in local storage.
         plan = self.plan
         halo = np.empty((plan.halo_size, nfields), dtype=np.float64)
         for r in range(comm.size):
-            offs = plan.send_offsets[r]
-            if r == me or offs.size == 0:
+            if r == me or plan.send_offsets[r].size == 0:
                 continue
-            block = x_av.data[offs, :]
+            block = x_av.data[plan.send_sel[r], :]
             if fused:
                 comm.send(block, r, tag)
             else:
                 for k in range(nfields):
-                    comm.send(block[:, k].copy(), r, tag)
-        own = plan.recv_positions[me]
-        if own.size:
-            halo[own, :] = x_av.data[plan.send_offsets[me], :]
+                    comm.send(np.ascontiguousarray(block[:, k]), r, tag)
+        if plan.recv_positions[me].size:
+            halo[plan.recv_sel[me], :] = x_av.data[plan.send_sel[me], :]
         for r in range(comm.size):
-            pos = plan.recv_positions[r]
-            if r == me or pos.size == 0:
+            if r == me or plan.recv_positions[r].size == 0:
                 continue
             if fused:
-                halo[pos, :] = comm.recv(source=r, tag=tag)
+                halo[plan.recv_sel[r], :] = comm.recv(source=r, tag=tag)
             else:
                 for k in range(nfields):
-                    halo[pos, k] = comm.recv(source=r, tag=tag)
+                    halo[plan.recv_sel[r], k] = comm.recv(source=r, tag=tag)
 
         # One SpMM covers every field when fused (cache-friendly);
         # otherwise one SpMV per field.

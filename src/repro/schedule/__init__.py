@@ -22,6 +22,14 @@ sends, so "actual transfers can be carried out fully in parallel".
 """
 
 from repro.schedule.plan import CommSchedule, LinearSchedule, TransferItem, LinearItem
+from repro.schedule.indexplan import (
+    PLAN_STATS,
+    LocalIndexer,
+    PairPlan,
+    RankPlan,
+    compile_pair_plans,
+    compile_rank_plan,
+)
 from repro.schedule.builder import (
     ScheduleCache,
     build_allpairs_schedule,
@@ -60,4 +68,10 @@ __all__ = [
     "pack_regions",
     "unpack_regions",
     "region_offsets",
+    "PLAN_STATS",
+    "LocalIndexer",
+    "PairPlan",
+    "RankPlan",
+    "compile_rank_plan",
+    "compile_pair_plans",
 ]

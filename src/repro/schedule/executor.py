@@ -12,6 +12,17 @@ rather than the region count.  ``packed=False`` restores the historical
 one-message-per-region wire protocol; both sides of a transfer must use
 the same setting.
 
+The packed copy phase runs on **compiled index plans**
+(:mod:`repro.schedule.indexplan`): the first packed execution against a
+schedule compiles one flat ``int64`` gather/scatter index array per
+rank pair (cached on the schedule), after which every pack is a single
+``flat_local.take(idx)`` and every unpack a single
+``flat_local[idx] = buf`` — or a pure slice when the pair's regions are
+contiguous in local storage (zero-copy view on send).  The wire bytes
+and their order are identical to the region-loop pack
+(:func:`repro.schedule.packing.pack_regions`), which is kept as the
+reference path.
+
 Three deployment shapes are supported:
 
 * :func:`execute_intra` — source and destination cohorts live in one
@@ -31,7 +42,6 @@ import numpy as np
 from repro.errors import ScheduleError
 from repro.dad.darray import DistributedArray
 from repro.linearize.linearization import Linearization
-from repro.schedule.packing import pack_regions, unpack_regions
 from repro.schedule.plan import CommSchedule, LinearSchedule
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator
@@ -75,9 +85,11 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
             raise ScheduleError(f"rank {me} is a source but has no src_array")
         s = src_pos[me]
         if packed:
-            for d, regions, offsets in schedule.send_groups(s):
-                comm.send(pack_regions(src_array, regions, offsets),
-                          dst_ranks[d], tag)
+            plan = schedule.send_plan(
+                s, src_array.descriptor.local_regions(s))
+            flat = src_array.flat_local()
+            for pp in plan.pairs:
+                comm.send(pp.gather(flat), dst_ranks[pp.peer], tag)
         else:
             for d, region in schedule.sends_from(s):
                 comm.send(src_array.local_view(region), dst_ranks[d], tag)
@@ -87,9 +99,12 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
             raise ScheduleError(f"rank {me} is a destination but has no dst_array")
         d = dst_pos[me]
         if packed:
-            for s, regions, offsets in schedule.recv_groups(d):
-                data = comm.recv(source=src_ranks[s], tag=tag)
-                received += unpack_regions(dst_array, regions, data, offsets)
+            plan = schedule.recv_plan(
+                d, dst_array.descriptor.local_regions(d))
+            flat = dst_array.flat_local()
+            for pp in plan.pairs:
+                data = comm.recv(source=src_ranks[pp.peer], tag=tag)
+                received += pp.scatter(flat, data)
         else:
             for s, region in schedule.recvs_at(d):
                 data = comm.recv(source=src_ranks[s], tag=tag)
@@ -122,10 +137,11 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
     if side == "src":
         moved = 0
         if packed:
-            for d, regions, offsets in schedule.send_groups(me):
-                inter.send(pack_regions(array, regions, offsets),
-                           dest=peer(d), tag=tag)
-                moved += offsets[-1]
+            plan = schedule.send_plan(me, array.descriptor.local_regions(me))
+            flat = array.flat_local()
+            for pp in plan.pairs:
+                inter.send(pp.gather(flat), dest=peer(pp.peer), tag=tag)
+                moved += pp.size
         else:
             for d, region in schedule.sends_from(me):
                 inter.send(array.local_view(region), dest=peer(d), tag=tag)
@@ -134,9 +150,11 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
     if side == "dst":
         received = 0
         if packed:
-            for s, regions, offsets in schedule.recv_groups(me):
-                data = inter.recv(source=peer(s), tag=tag)
-                received += unpack_regions(array, regions, data, offsets)
+            plan = schedule.recv_plan(me, array.descriptor.local_regions(me))
+            flat = array.flat_local()
+            for pp in plan.pairs:
+                data = inter.recv(source=peer(pp.peer), tag=tag)
+                received += pp.scatter(flat, data)
         else:
             for s, region in schedule.recvs_at(me):
                 data = inter.recv(source=peer(s), tag=tag)
@@ -154,19 +172,53 @@ def execute_linear_inter(schedule: LinearSchedule, inter: Intercommunicator,
 
     ``storage`` is whatever local form ``lin`` extracts from / injects
     into (a :class:`DistributedArray`, a graph-value dict, ...).
+
+    The wire carries **one packed buffer per communicating rank pair**
+    (all of the pair's runs in ascending-``lo`` order), mirroring the
+    packed region path.  When ``lin`` supports flat indexing
+    (:meth:`~repro.linearize.linearization.Linearization.flat_storage`),
+    the local copy phase runs on a compiled index plan cached on the
+    schedule — one ``take``/fancy assignment per pair; otherwise the
+    pair's buffer is assembled/consumed run by run via
+    ``extract``/``inject``.  Either side may fall back independently —
+    the wire format is identical.
     """
     me = inter.rank
     if side == "src":
         moved = 0
-        for d, run in schedule.sends_from(me):
-            inter.send(lin.extract(me, run, storage), dest=d, tag=tag)
-            moved += run.length
+        flat = lin.flat_storage(me, storage)
+        if flat is not None:
+            plan = schedule.send_plan(
+                me, lambda run: lin.run_indices(me, run))
+            for pp in plan.pairs:
+                inter.send(pp.gather(flat), dest=pp.peer, tag=tag)
+                moved += pp.size
+        else:
+            for d, runs, offsets in schedule.send_groups(me):
+                buf = np.concatenate(
+                    [np.asarray(lin.extract(me, run, storage)).reshape(-1)
+                     for run in runs]) if runs else np.empty(0)
+                inter.send(buf, dest=d, tag=tag)
+                moved += int(offsets[-1])
         return moved
     if side == "dst":
         received = 0
-        for s, run in schedule.recvs_at(me):
-            values = inter.recv(source=s, tag=tag)
-            lin.inject(me, run, np.asarray(values), storage)
-            received += run.length
+        flat = lin.flat_storage(me, storage)
+        if flat is not None:
+            plan = schedule.recv_plan(
+                me, lambda run: lin.run_indices(me, run))
+            for pp in plan.pairs:
+                values = inter.recv(source=pp.peer, tag=tag)
+                received += pp.scatter(flat, values)
+        else:
+            for s, runs, offsets in schedule.recv_groups(me):
+                values = np.asarray(inter.recv(source=s, tag=tag)).reshape(-1)
+                if values.size != offsets[-1]:
+                    raise ScheduleError(
+                        f"packed linear buffer holds {values.size} elements,"
+                        f" runs expect {int(offsets[-1])}")
+                for run, lo, hi in zip(runs, offsets, offsets[1:]):
+                    lin.inject(me, run, values[lo:hi], storage)
+                received += int(offsets[-1])
         return received
     raise ValueError(f"side must be 'src' or 'dst', got {side!r}")

@@ -1,0 +1,249 @@
+"""Compiled gather/scatter index plans for schedule data movement.
+
+PR 1 minimized *message counts* (one packed buffer per communicating
+rank pair); this layer minimizes the cost of producing and consuming
+those buffers.  The region-loop pack/unpack path walks a pair's regions
+one by one, paying a Python-level ``local_view`` (a linear scan over the
+rank's patches) plus a small NumPy copy per region — for fragmented
+templates (cyclic, block-cyclic) that per-region overhead dominates the
+whole transfer.
+
+A :class:`PairPlan` compiles everything a (src, dst) rank pair exchanges
+into one flat ``np.int64`` element-index array into the rank's row-major
+local buffer (:meth:`~repro.dad.darray.DistributedArray.flat_local`), so
+the copy phase of a transfer collapses to a single vectorized call per
+pair::
+
+    buf = flat_local.take(plan.idx)      # gather (send side)
+    flat_local[plan.idx] = buf           # scatter (receive side)
+
+with a **contiguity fast path**: when a pair's regions flatten to one
+ascending unit-stride range, the index array is dropped entirely and the
+plan carries a ``[lo, lo + size)`` slice — gather then returns a
+zero-copy *view* of local storage and scatter is one slice assignment.
+
+Plans are pure functions of (schedule groups, owner patch layout), so
+they are compiled once and cached on the schedule next to
+``send_groups``/``recv_groups`` — repeated transfers over a reused
+schedule (the paper's persistent-channel case) pay compilation once.
+``PLAN_STATS`` counts compilations so tests can pin that down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.util.counters import Counters
+from repro.util.indexing import region_flat_indices, row_major_strides
+from repro.util.regions import Region
+
+__all__ = [
+    "PairPlan",
+    "RankPlan",
+    "PLAN_STATS",
+    "LocalIndexer",
+    "compile_rank_plan",
+    "compile_pair_plans",
+    "plan_from_indices",
+]
+
+#: Compilation counters: ``rank_plans`` increments once per compiled
+#: per-rank plan, ``pair_plans`` once per (src, dst) pair inside it.
+#: Regression tests assert these do not grow under repeated transfers
+#: over a cached schedule.
+PLAN_STATS = Counters()
+
+
+@dataclass(frozen=True, slots=True)
+class PairPlan:
+    """One rank pair's compiled copy phase.
+
+    ``idx`` holds flat element indices into the owning rank's local
+    buffer, in wire order.  ``idx is None`` is the contiguity fast path:
+    the pair's elements are exactly ``flat_local[lo:lo + size]``.
+    """
+
+    peer: int
+    size: int
+    lo: int
+    idx: np.ndarray | None
+
+    @property
+    def contiguous(self) -> bool:
+        return self.idx is None
+
+    def gather(self, flat_local: np.ndarray) -> np.ndarray:
+        """This pair's packed send buffer (a zero-copy view when
+        contiguous)."""
+        if self.idx is None:
+            return flat_local[self.lo:self.lo + self.size]
+        return flat_local.take(self.idx)
+
+    def scatter(self, flat_local: np.ndarray, values) -> int:
+        """Write a packed buffer back into local storage; returns the
+        element count."""
+        values = np.asarray(values).reshape(-1)
+        if values.size != self.size:
+            raise ScheduleError(
+                f"packed buffer holds {values.size} elements, plan expects "
+                f"{self.size} — sender and receiver disagree on packing")
+        if self.idx is None:
+            flat_local[self.lo:self.lo + self.size] = values
+        else:
+            flat_local[self.idx] = values
+        return self.size
+
+
+@dataclass(frozen=True, slots=True)
+class RankPlan:
+    """All of one rank's compiled pair plans for one schedule side."""
+
+    pairs: tuple[PairPlan, ...]
+
+    @property
+    def contiguous_pairs(self) -> int:
+        """How many pairs hit the contiguity fast path."""
+        return sum(1 for p in self.pairs if p.contiguous)
+
+    @property
+    def element_count(self) -> int:
+        return sum(p.size for p in self.pairs)
+
+
+def plan_from_indices(peer: int, idx: np.ndarray) -> PairPlan:
+    """Wrap a flat index array as a :class:`PairPlan`, detecting the
+    contiguous fast path (ascending unit-stride indices)."""
+    idx = np.ascontiguousarray(idx, dtype=np.int64)
+    size = int(idx.size)
+    if size == 0:
+        return PairPlan(peer, 0, 0, None)
+    if size == 1 or bool((np.diff(idx) == 1).all()):
+        return PairPlan(peer, size, int(idx[0]), None)
+    return PairPlan(peer, size, 0, idx)
+
+
+class LocalIndexer:
+    """Flat row-major indices of global regions inside one rank's local
+    storage.
+
+    The local buffer layout is the one :class:`~repro.dad.darray.
+    DistributedArray` guarantees: owned patches sorted by ``region.lo``,
+    each flattened row-major, concatenated.  Lookup of a transfer
+    region's containing patch uses an exact-match dict (the common case
+    for fragmented templates, whose transfer regions coincide with
+    patches), a last-hit cache (the common case for block templates,
+    where one patch serves many regions), and a containment scan as the
+    general fallback.
+    """
+
+    def __init__(self, owned_regions: Sequence[Region]):
+        patches = sorted(owned_regions, key=lambda r: r.lo)
+        offsets = np.zeros(len(patches) + 1, dtype=np.int64)
+        np.cumsum([r.volume for r in patches], out=offsets[1:])
+        self._patches = patches
+        self._offsets = offsets
+        self._exact = {r: i for i, r in enumerate(patches)}
+        self._last: int | None = None
+
+    def _find_patch(self, region: Region) -> int:
+        i = self._exact.get(region)
+        if i is not None:
+            return i
+        if self._last is not None and \
+                self._patches[self._last].contains(region):
+            return self._last
+        for i, patch in enumerate(self._patches):
+            if patch.contains(region):
+                self._last = i
+                return i
+        raise ScheduleError(
+            f"transfer region {region} not contained in any owned patch")
+
+    def region_indices(self, region: Region) -> np.ndarray:
+        """Flat local indices of ``region``'s elements, in the region's
+        row-major order."""
+        i = self._find_patch(region)
+        patch = self._patches[i]
+        local = region.relative_to(patch)
+        idx = region_flat_indices(local, patch.shape)
+        idx += self._offsets[i]
+        return idx
+
+    def region_run(self, region: Region) -> tuple[int, int] | None:
+        """``(lo, size)`` when ``region`` flattens to one contiguous
+        local range, else ``None`` — an O(ndim) closed-form check that
+        avoids materializing the index array for the common case."""
+        i = self._find_patch(region)
+        patch = self._patches[i]
+        shape = patch.shape
+        # Contiguous iff every axis before the first partial axis spans
+        # one index, i.e. all fragmentation lives in the trailing
+        # full-width tail plus at most one leading partial axis.
+        seen_partial = False
+        for d in range(len(shape) - 1, -1, -1):
+            span = region.hi[d] - region.lo[d]
+            if seen_partial and span != 1:
+                return None
+            if span != shape[d]:
+                seen_partial = True
+        local = region.relative_to(patch)
+        strides = row_major_strides(shape)
+        lo = int(self._offsets[i]) + sum(
+            l * s for l, s in zip(local.lo, strides))
+        return lo, region.volume
+
+
+def compile_rank_plan(groups: Sequence[tuple[int, Sequence[Region], object]],
+                      owned_regions: Sequence[Region]) -> RankPlan:
+    """Compile one rank's per-pair groups against its patch layout.
+
+    ``groups`` is the schedule's ``send_groups``/``recv_groups`` output:
+    ``(peer, regions, offsets)`` with regions in wire order.  The index
+    order inside each compiled pair matches the region-loop pack order
+    exactly, so plan-based and loop-based buffers are byte-identical.
+    """
+    indexer = LocalIndexer(owned_regions)
+    pairs: list[PairPlan] = []
+    for peer, regions, _offsets in groups:
+        runs = [indexer.region_run(r) for r in regions]
+        if all(r is not None for r in runs):
+            # All regions individually contiguous: the pair is a single
+            # slice iff the runs chain end-to-start.
+            chained = all(runs[k][0] + runs[k][1] == runs[k + 1][0]
+                          for k in range(len(runs) - 1))
+            if chained:
+                lo = runs[0][0] if runs else 0
+                size = sum(n for _, n in runs)
+                pairs.append(PairPlan(peer, size, lo, None))
+                PLAN_STATS.add("pair_plans")
+                continue
+            idx = np.concatenate(
+                [np.arange(lo, lo + n, dtype=np.int64) for lo, n in runs]) \
+                if runs else np.empty(0, dtype=np.int64)
+        else:
+            parts = [indexer.region_indices(r) for r in regions]
+            idx = np.concatenate(parts) if parts else \
+                np.empty(0, dtype=np.int64)
+        pairs.append(plan_from_indices(peer, idx))
+        PLAN_STATS.add("pair_plans")
+    PLAN_STATS.add("rank_plans")
+    return RankPlan(tuple(pairs))
+
+
+def compile_pair_plans(groups: Sequence[tuple[int, Sequence, object]],
+                       indices_of: Callable[[object], np.ndarray]) -> RankPlan:
+    """Generic plan compiler: ``indices_of(item)`` yields each group
+    item's flat local indices (linearization runs, AttrVect rows, ...).
+    """
+    pairs: list[PairPlan] = []
+    for peer, items, _offsets in groups:
+        parts = [np.asarray(indices_of(it), dtype=np.int64) for it in items]
+        idx = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        pairs.append(plan_from_indices(peer, idx))
+        PLAN_STATS.add("pair_plans")
+    PLAN_STATS.add("rank_plans")
+    return RankPlan(tuple(pairs))

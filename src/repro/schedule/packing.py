@@ -29,12 +29,12 @@ from repro.util.regions import Region
 __all__ = ["pack_regions", "unpack_regions", "region_offsets"]
 
 
-def region_offsets(regions: Sequence[Region]) -> list[int]:
+def region_offsets(regions: Sequence[Region]) -> np.ndarray:
     """Flattened element offset of each region in a packed buffer, with
-    the total volume appended (length ``len(regions) + 1``)."""
-    offsets = [0]
-    for r in regions:
-        offsets.append(offsets[-1] + r.volume)
+    the total volume appended (an ``np.int64`` array of length
+    ``len(regions) + 1``, so downstream slicing never re-converts)."""
+    offsets = np.zeros(len(regions) + 1, dtype=np.int64)
+    np.cumsum([r.volume for r in regions], out=offsets[1:])
     return offsets
 
 
@@ -73,4 +73,4 @@ def unpack_regions(array: DistributedArray, regions: Sequence[Region],
             f"{offsets[-1]} — sender and receiver disagree on packing")
     for r, lo, hi in zip(regions, offsets, offsets[1:]):
         array.local_view(r)[...] = buffer[lo:hi].reshape(r.shape)
-    return offsets[-1]
+    return int(offsets[-1])

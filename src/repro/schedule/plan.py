@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import ScheduleError
 from repro.dad.descriptor import DistArrayDescriptor
 from repro.linearize.linearization import Linearization, Run
+from repro.schedule.indexplan import RankPlan, compile_pair_plans, compile_rank_plan
 from repro.util.regions import Region, RegionList
 
 
@@ -36,22 +37,26 @@ class LinearItem:
     run: Run
 
 
-def _group_by_peer(pairs: list[tuple[int, "Region"]],
-                   ) -> list[tuple[int, list["Region"], list[int]]]:
-    """Group an ordered (peer, region) list into per-peer runs.
+def _group_by_peer(pairs: list[tuple[int, "Region"]], volume_of,
+                   ) -> list[tuple[int, list, np.ndarray]]:
+    """Group an ordered (peer, item) list into per-peer runs.
 
-    Returns ``(peer, regions, offsets)`` tuples where ``offsets`` is the
-    flattened element offset of each region inside the coalesced buffer,
-    with the total volume appended — precomputed once so packed
+    Returns ``(peer, items, offsets)`` tuples where ``offsets`` is the
+    flattened element offset of each item inside the coalesced buffer,
+    with the total volume appended (an ``np.int64`` cumsum, so
+    downstream slicing never re-converts) — precomputed once so packed
     execution never rescans volumes.
     """
-    groups: list[tuple[int, list[Region], list[int]]] = []
-    for peer, region in pairs:
-        if not groups or groups[-1][0] != peer:
-            groups.append((peer, [], [0]))
-        _, regions, offsets = groups[-1]
-        regions.append(region)
-        offsets.append(offsets[-1] + region.volume)
+    grouped: list[tuple[int, list]] = []
+    for peer, item in pairs:
+        if not grouped or grouped[-1][0] != peer:
+            grouped.append((peer, []))
+        grouped[-1][1].append(item)
+    groups: list[tuple[int, list, np.ndarray]] = []
+    for peer, items in grouped:
+        offsets = np.zeros(len(items) + 1, dtype=np.int64)
+        np.cumsum([volume_of(it) for it in items], out=offsets[1:])
+        groups.append((peer, items, offsets))
     return groups
 
 
@@ -80,8 +85,12 @@ class CommSchedule:
             lst.sort(key=lambda t: (t[0], t[1].lo))
         self._sends = sends
         self._recvs = recvs
-        self._send_groups = [_group_by_peer(lst) for lst in sends]
-        self._recv_groups = [_group_by_peer(lst) for lst in recvs]
+        vol = lambda region: region.volume  # noqa: E731
+        self._send_groups = [_group_by_peer(lst, vol) for lst in sends]
+        self._recv_groups = [_group_by_peer(lst, vol) for lst in recvs]
+        #: compiled index plans, keyed ("send"/"recv", rank) — see
+        #: send_plan/recv_plan.
+        self._plans: dict[tuple[str, int], "RankPlan"] = {}
 
     # -- per-rank views -------------------------------------------------------
 
@@ -103,22 +112,47 @@ class CommSchedule:
 
     # -- per-pair coalescing groups ------------------------------------------
 
-    def send_groups(self, src: int) -> list[tuple[int, list[Region], list[int]]]:
+    def send_groups(self, src: int) -> list[tuple[int, list[Region], np.ndarray]]:
         """Per-destination coalescing groups for rank ``src``:
         ``(dst, regions, offsets)`` with regions in wire order and
-        ``offsets`` the flattened element offsets (total appended).
-        Callers must not mutate the returned lists."""
+        ``offsets`` the flattened ``np.int64`` element offsets (total
+        appended).  Callers must not mutate the returned lists."""
         if not (0 <= src < self.src_nranks):
             return []
         return self._send_groups[src]
 
-    def recv_groups(self, dst: int) -> list[tuple[int, list[Region], list[int]]]:
+    def recv_groups(self, dst: int) -> list[tuple[int, list[Region], np.ndarray]]:
         """Per-source coalescing groups for rank ``dst``; region order
         matches the sender's :meth:`send_groups` order, so one packed
         buffer per pair unpacks positionally."""
         if not (0 <= dst < self.dst_nranks):
             return []
         return self._recv_groups[dst]
+
+    # -- compiled index plans ------------------------------------------------
+
+    def send_plan(self, src: int, owned_regions) -> "RankPlan":
+        """Compiled gather plan for schedule rank ``src``: one flat
+        index array (or contiguous slice) per destination, addressing
+        the rank's consolidated local buffer.  ``owned_regions`` is the
+        rank's patch layout (``descriptor.local_regions(src)``); plans
+        are compiled on first use and cached for the schedule's
+        lifetime, which is sound because every array replayed against
+        this schedule conforms to the same template."""
+        return self._plan("send", src, self._send_groups[src], owned_regions)
+
+    def recv_plan(self, dst: int, owned_regions) -> "RankPlan":
+        """Compiled scatter plan for schedule rank ``dst`` (see
+        :meth:`send_plan`)."""
+        return self._plan("recv", dst, self._recv_groups[dst], owned_regions)
+
+    def _plan(self, side: str, rank: int, groups, owned_regions) -> "RankPlan":
+        key = (side, rank)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_rank_plan(groups, list(owned_regions))
+            self._plans[key] = plan
+        return plan
 
     @property
     def pair_count(self) -> int:
@@ -200,6 +234,10 @@ class LinearSchedule:
             lst.sort(key=lambda t: (t[0], t[1].lo))
         self._sends = sends
         self._recvs = recvs
+        length = lambda run: run.length  # noqa: E731
+        self._send_groups = [_group_by_peer(lst, length) for lst in sends]
+        self._recv_groups = [_group_by_peer(lst, length) for lst in recvs]
+        self._plans: dict[tuple[str, int], RankPlan] = {}
 
     def sends_from(self, src: int) -> list[tuple[int, Run]]:
         if not (0 <= src < self.src_nranks):
@@ -210,6 +248,53 @@ class LinearSchedule:
         if not (0 <= dst < self.dst_nranks):
             return []
         return list(self._recvs[dst])
+
+    # -- per-pair coalescing groups ------------------------------------------
+
+    def send_groups(self, src: int) -> list[tuple[int, list[Run], np.ndarray]]:
+        """Per-destination coalescing groups for rank ``src``:
+        ``(dst, runs, offsets)`` with runs in wire order (ascending
+        ``lo``) and ``offsets`` the ``np.int64`` element offsets of each
+        run in the pair's packed buffer (total appended)."""
+        if not (0 <= src < self.src_nranks):
+            return []
+        return self._send_groups[src]
+
+    def recv_groups(self, dst: int) -> list[tuple[int, list[Run], np.ndarray]]:
+        """Per-source coalescing groups for rank ``dst``; run order
+        matches the sender's :meth:`send_groups` order."""
+        if not (0 <= dst < self.dst_nranks):
+            return []
+        return self._recv_groups[dst]
+
+    @property
+    def pair_count(self) -> int:
+        """Number of communicating (src, dst) rank pairs — the coalesced
+        executors' message count."""
+        return sum(len(g) for g in self._send_groups)
+
+    # -- compiled index plans ------------------------------------------------
+
+    def send_plan(self, src: int, indices_of) -> RankPlan:
+        """Compiled gather plan for rank ``src``: ``indices_of(run)``
+        maps each run to its flat indices in the rank's local storage
+        (e.g. AttrVect rows, linearization storage positions).  Compiled
+        once per rank and cached for the schedule's lifetime — every
+        caller of one schedule instance must therefore supply an
+        equivalent ``indices_of`` mapping."""
+        return self._lin_plan("send", src, self._send_groups[src], indices_of)
+
+    def recv_plan(self, dst: int, indices_of) -> RankPlan:
+        """Compiled scatter plan for rank ``dst`` (see :meth:`send_plan`)."""
+        return self._lin_plan("recv", dst, self._recv_groups[dst], indices_of)
+
+    def _lin_plan(self, side: str, rank: int, groups, indices_of) -> RankPlan:
+        key = (side, rank)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_pair_plans(groups, indices_of)
+            self._plans[key] = plan
+        return plan
 
     @property
     def message_count(self) -> int:

@@ -81,6 +81,40 @@ def test_router_unfused_same_result_more_messages():
     # counters are job-global; the unfused run sends 3x the data messages
 
 
+def test_unfused_still_coalesces_runs_per_pair():
+    """``fused=False`` only unfuses fields: message count is
+    pairs x nfields, NOT runs x nfields — runs stay coalesced into one
+    buffer per rank pair either way."""
+    gsize = 12
+    nfields = 3
+
+    def main(comm, fused):
+        model = "a" if comm.rank == 0 else "b"
+        world = MCTWorld(comm, model)
+        src = GlobalSegMap.block(gsize, 1)
+        dst = GlobalSegMap.cyclic(gsize, 2)  # 6 runs to each dst rank
+        router = Router(world, "a", "b", src, dst)
+        if model == "a":
+            before = comm.counters.snapshot().get("msgs", 0)
+            av = AttrVect.from_arrays({
+                "x": np.arange(gsize, dtype=float),
+                "y": np.ones(gsize),
+                "z": np.zeros(gsize)})
+            router.transfer(av_send=av, fused=fused)
+            return comm.counters.snapshot().get("msgs", 0) - before
+        av = AttrVect(["x", "y", "z"], dst.local_size(world.my_model_rank))
+        router.transfer(av_recv=av, fused=fused)
+        return av
+
+    pairs = 2  # one source rank feeding two destination ranks
+    assert run_spmd(3, main, True)[0] == pairs
+    assert run_spmd(3, main, False)[0] == pairs * nfields
+    fused_out = run_spmd(3, main, True)
+    unfused_out = run_spmd(3, main, False)
+    for f, u in zip(fused_out[1:], unfused_out[1:]):
+        np.testing.assert_array_equal(f.data, u.data)
+
+
 def test_router_validates_sizes():
     def main(comm):
         model = "a" if comm.rank == 0 else "b"

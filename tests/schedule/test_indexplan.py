@@ -1,0 +1,251 @@
+"""Compiled index plans: plan-based pack/unpack must be byte-identical
+to the region-loop reference path, the contiguity fast path must engage
+exactly when a pair's regions flatten to one slice, and compilation must
+happen once per schedule under repeated transfers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dad import (
+    Block,
+    BlockCyclic,
+    CartesianTemplate,
+    Cyclic,
+    DistArrayDescriptor,
+    DistributedArray,
+    GeneralizedBlock,
+)
+from repro.dad.template import block_template
+from repro.errors import ScheduleError
+from repro.linearize import DenseLinearization
+from repro.schedule import (
+    PLAN_STATS,
+    build_linear_schedule,
+    build_region_schedule,
+    execute_intra,
+    pack_regions,
+    region_offsets,
+    unpack_regions,
+)
+from repro.simmpi import run_spmd
+
+
+@st.composite
+def axis_for(draw, extent):
+    kind = draw(st.sampled_from(
+        ["block", "cyclic", "block_cyclic", "genblock"]))
+    nprocs = draw(st.integers(1, min(3, extent)))
+    if kind == "block":
+        return Block(extent, nprocs)
+    if kind == "cyclic":
+        return Cyclic(extent, nprocs)
+    if kind == "block_cyclic":
+        return BlockCyclic(extent, nprocs, draw(st.integers(1, extent)))
+    cuts = sorted(draw(st.lists(st.integers(0, extent),
+                                min_size=nprocs - 1, max_size=nprocs - 1)))
+    bounds = [0] + cuts + [extent]
+    return GeneralizedBlock(extent, [b - a for a, b in zip(bounds, bounds[1:])])
+
+
+@st.composite
+def template_pairs(draw):
+    ndim = draw(st.integers(1, 2))
+    shape = tuple(draw(st.integers(2, 9)) for _ in range(ndim))
+    src = CartesianTemplate([draw(axis_for(e)) for e in shape])
+    dst = CartesianTemplate([draw(axis_for(e)) for e in shape])
+    return src, dst
+
+
+class TestPlanLoopEquivalence:
+    """Plan gather/scatter vs the region-loop pack/unpack reference."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(template_pairs(), st.integers(0, 2 ** 31 - 1))
+    def test_gather_matches_pack_regions(self, pair, seed):
+        src_t, dst_t = pair
+        g = np.asarray(
+            np.random.default_rng(seed).integers(0, 1000, size=src_t.shape),
+            dtype=np.float64)
+        src_desc = DistArrayDescriptor(src_t, np.float64)
+        dst_desc = DistArrayDescriptor(dst_t, np.float64)
+        sched = build_region_schedule(src_desc, dst_desc)
+        for s in range(src_desc.nranks):
+            arr = DistributedArray.from_global(src_desc, s, g)
+            flat = arr.flat_local()
+            plan = sched.send_plan(s, src_desc.local_regions(s))
+            groups = sched.send_groups(s)
+            assert len(plan.pairs) == len(groups)
+            for pp, (d, regions, offsets) in zip(plan.pairs, groups):
+                assert pp.peer == d
+                loop_buf = pack_regions(arr, regions, offsets)
+                np.testing.assert_array_equal(pp.gather(flat), loop_buf)
+
+    @settings(max_examples=40, deadline=None)
+    @given(template_pairs(), st.integers(0, 2 ** 31 - 1))
+    def test_scatter_matches_unpack_regions(self, pair, seed):
+        src_t, dst_t = pair
+        g = np.asarray(
+            np.random.default_rng(seed).integers(0, 1000, size=src_t.shape),
+            dtype=np.float64)
+        src_desc = DistArrayDescriptor(src_t, np.float64)
+        dst_desc = DistArrayDescriptor(dst_t, np.float64)
+        sched = build_region_schedule(src_desc, dst_desc)
+        src_full = DistributedArray.from_global(
+            DistArrayDescriptor(src_t, np.float64), 0, g) \
+            if src_desc.nranks == 1 else None
+        for d in range(dst_desc.nranks):
+            via_plan = DistributedArray.allocate(dst_desc, d)
+            via_loop = DistributedArray.allocate(dst_desc, d)
+            plan = sched.recv_plan(d, dst_desc.local_regions(d))
+            flat = via_plan.flat_local()
+            for pp, (s, regions, offsets) in zip(plan.pairs,
+                                                 sched.recv_groups(d)):
+                # the wire buffer the source side would produce
+                src_arr = src_full if src_full is not None and s == 0 else \
+                    DistributedArray.from_global(src_desc, s, g)
+                send_groups = dict(
+                    (dd, (rr, oo))
+                    for dd, rr, oo in sched.send_groups(s))
+                s_regions, s_offsets = send_groups[d]
+                buf = pack_regions(src_arr, s_regions, s_offsets)
+                assert pp.scatter(flat, buf) == buf.size
+                unpack_regions(via_loop, regions, buf, offsets)
+            assert via_plan.flat_local().tobytes() == \
+                via_loop.flat_local().tobytes()
+
+    @settings(max_examples=25, deadline=None)
+    @given(template_pairs(), st.integers(0, 2 ** 31 - 1))
+    def test_dense_linearization_extract_inject(self, pair, seed):
+        """extract(run) must equal the global row-major slice, and
+        inject must invert it — across random linearization runs."""
+        src_t, dst_t = pair
+        g = np.asarray(
+            np.random.default_rng(seed).integers(0, 1000, size=src_t.shape),
+            dtype=np.float64)
+        desc = DistArrayDescriptor(src_t, np.float64)
+        lin = DenseLinearization(desc)
+        dst_lin = DenseLinearization(DistArrayDescriptor(dst_t, np.float64))
+        sched = build_linear_schedule(lin, dst_lin)
+        gflat = g.reshape(-1)
+        arrays = {r: DistributedArray.from_global(desc, r, g)
+                  for r in range(desc.nranks)}
+        back = {r: DistributedArray.allocate(desc, r)
+                for r in range(desc.nranks)}
+        for it in sched.items:
+            values = lin.extract(it.src, it.run, arrays[it.src])
+            np.testing.assert_array_equal(
+                values, gflat[it.run.lo:it.run.hi])
+            lin.inject(it.src, it.run, values, back[it.src])
+        for r in range(desc.nranks):
+            assert back[r].flat_local().tobytes() == \
+                arrays[r].flat_local().tobytes()
+
+
+class TestContiguityFastPath:
+    def test_block_templates_compile_to_slices(self):
+        """1-D block → block: every pair's regions flatten to one
+        ascending range, so no plan materializes an index array."""
+        src = DistArrayDescriptor(block_template((24,), (3,)))
+        dst = DistArrayDescriptor(block_template((24,), (4,)))
+        sched = build_region_schedule(src, dst)
+        for s in range(src.nranks):
+            plan = sched.send_plan(s, src.local_regions(s))
+            assert plan.contiguous_pairs == len(plan.pairs)
+            assert all(p.idx is None for p in plan.pairs)
+        for d in range(dst.nranks):
+            plan = sched.recv_plan(d, dst.local_regions(d))
+            assert plan.contiguous_pairs == len(plan.pairs)
+
+    def test_contiguous_gather_is_zero_copy_view(self):
+        src = DistArrayDescriptor(block_template((24,), (3,)))
+        dst = DistArrayDescriptor(block_template((24,), (4,)))
+        sched = build_region_schedule(src, dst)
+        arr = DistributedArray.from_global(
+            src, 0, np.arange(24.0))
+        flat = arr.flat_local()
+        plan = sched.send_plan(0, src.local_regions(0))
+        buf = plan.pairs[0].gather(flat)
+        assert buf.base is not None and np.shares_memory(buf, flat)
+
+    def test_cyclic_pairs_need_index_arrays(self):
+        """Block → cyclic: each destination picks every other element
+        out of the source's contiguous patch, so the pair cannot be one
+        slice and the index-array path must engage (and still pack the
+        same bytes as the loop)."""
+        src = DistArrayDescriptor(block_template((12,), (2,)))
+        dst = DistArrayDescriptor(CartesianTemplate([Cyclic(12, 2)]))
+        sched = build_region_schedule(src, dst)
+        plan = sched.send_plan(0, src.local_regions(0))
+        assert any(p.idx is not None for p in plan.pairs)
+        arr = DistributedArray.from_global(src, 0, np.arange(12.0))
+        for pp, (d, regions, offsets) in zip(plan.pairs,
+                                             sched.send_groups(0)):
+            np.testing.assert_array_equal(
+                pp.gather(arr.flat_local()),
+                pack_regions(arr, regions, offsets))
+
+    def test_2d_row_block_is_contiguous(self):
+        """Full-width row blocks of a 2-D array are contiguous in the
+        row-major local buffer even though they are 2-D regions."""
+        src = DistArrayDescriptor(block_template((8, 6), (2, 1)))
+        dst = DistArrayDescriptor(block_template((8, 6), (4, 1)))
+        sched = build_region_schedule(src, dst)
+        for s in range(src.nranks):
+            plan = sched.send_plan(s, src.local_regions(s))
+            assert plan.contiguous_pairs == len(plan.pairs)
+
+    def test_2d_column_split_is_not_contiguous(self):
+        src = DistArrayDescriptor(block_template((6, 8), (1, 2)))
+        dst = DistArrayDescriptor(block_template((6, 8), (1, 4)))
+        sched = build_region_schedule(src, dst)
+        plan = sched.send_plan(0, src.local_regions(0))
+        # each destination's columns stride across the local rows
+        assert any(p.idx is not None for p in plan.pairs)
+
+    def test_scatter_size_mismatch_rejected(self):
+        src = DistArrayDescriptor(block_template((8,), (2,)))
+        sched = build_region_schedule(src, src)
+        plan = sched.send_plan(0, src.local_regions(0))
+        arr = DistributedArray.allocate(src, 0)
+        with pytest.raises(ScheduleError):
+            plan.pairs[0].scatter(arr.flat_local(), np.zeros(3))
+
+
+class TestCompileOnce:
+    def test_plans_compile_once_per_schedule(self):
+        """Repeated packed transfers over a reused schedule must not
+        recompile plans (the persistent-channel case)."""
+        src_desc = DistArrayDescriptor(CartesianTemplate([Cyclic(24, 3)]))
+        dst_desc = DistArrayDescriptor(block_template((24,), (4,)))
+        sched = build_region_schedule(src_desc, dst_desc)
+        g = np.arange(24.0)
+
+        def main(comm):
+            src = (DistributedArray.from_global(src_desc, comm.rank, g)
+                   if comm.rank < src_desc.nranks else None)
+            dst = (DistributedArray.allocate(dst_desc, comm.rank)
+                   if comm.rank < dst_desc.nranks else None)
+            execute_intra(sched, comm, src_array=src, dst_array=dst,
+                          src_ranks=range(src_desc.nranks),
+                          dst_ranks=range(dst_desc.nranks))
+            return dst
+
+        n = max(src_desc.nranks, dst_desc.nranks)
+        run_spmd(n, main)
+        after_first = PLAN_STATS.get("rank_plans")
+        for _ in range(3):
+            parts = [p for p in run_spmd(n, main) if p is not None]
+        assert PLAN_STATS.get("rank_plans") == after_first
+        np.testing.assert_array_equal(DistributedArray.assemble(parts), g)
+
+    def test_offsets_are_int64_arrays(self):
+        src = DistArrayDescriptor(CartesianTemplate([Cyclic(10, 2)]))
+        sched = build_region_schedule(src, src)
+        offs = region_offsets(list(src.local_regions(0)))
+        assert isinstance(offs, np.ndarray) and offs.dtype == np.int64
+        for _, regions, offsets in sched.send_groups(0):
+            assert isinstance(offsets, np.ndarray)
+            assert offsets.dtype == np.int64
+            assert offsets[0] == 0
+            assert offsets[-1] == sum(r.volume for r in regions)
