@@ -35,6 +35,7 @@ EXPERIMENTS = [
     ("A4", "bench_coupling_styles"),
     ("A5", "bench_schedule_scaling"),
     ("A6", "bench_pack_throughput"),
+    ("A7", "bench_persistent_steady_state"),
 ]
 
 

@@ -27,6 +27,7 @@ from repro.errors import ConnectionError_
 from repro.dad.darray import DistributedArray
 from repro.dad.descriptor import DistArrayDescriptor
 from repro.dad.template import block_template
+from repro.schedule.bufpool import BufferPool
 from repro.schedule.builder import ScheduleCache
 from repro.schedule.executor import execute_inter, execute_intra
 from repro.simmpi.communicator import Communicator
@@ -69,7 +70,16 @@ def redistribute(global_array: np.ndarray,
 
 
 class Channel:
-    """A persistent coupled-field channel (see :meth:`Coupler.open`)."""
+    """A persistent coupled-field channel (see :meth:`Coupler.open`).
+
+    Rides the zero-copy persistent engines: the producer packs through a
+    per-channel :class:`~repro.schedule.bufpool.BufferPool` (zero
+    steady-state allocations) and ships move/borrow-semantics payloads;
+    the consumer preposts recv-into-destination slots so in-flight data
+    lands straight in ``channel.array``'s consolidated local base.
+    ``pool_stats`` exposes the pool counters (producer side; all zeros
+    on the consumer, which needs no staging at all).
+    """
 
     def __init__(self, inter: Intercommunicator, role: str,
                  schedule, darray: DistributedArray):
@@ -77,28 +87,39 @@ class Channel:
         self._role = role
         self._schedule = schedule
         self._darray = darray
+        self.pool = BufferPool()
+        self._engine = None
         self.transfers = 0
 
     def push(self) -> None:
         """Producer side: send the current contents of the local array."""
         if self._role != "source":
             raise ConnectionError_("push() is for the publishing side")
-        execute_inter(self._schedule, self._inter, "src", self._darray,
-                      tag=_DATA_TAG)
+        if self._engine is None:
+            self._engine = self._schedule.persistent_sender(
+                self._inter, self._darray, tag=_DATA_TAG, pool=self.pool)
+        self._engine.step()
         self.transfers += 1
 
     def pull(self) -> DistributedArray:
         """Consumer side: receive the next snapshot into the local array."""
         if self._role != "destination":
             raise ConnectionError_("pull() is for the subscribing side")
-        execute_inter(self._schedule, self._inter, "dst", self._darray,
-                      tag=_DATA_TAG)
+        if self._engine is None:
+            self._engine = self._schedule.persistent_receiver(
+                self._inter, self._darray, tag=_DATA_TAG)
+        self._engine.step()
         self.transfers += 1
         return self._darray
 
     @property
     def array(self) -> DistributedArray:
         return self._darray
+
+    @property
+    def pool_stats(self) -> dict:
+        """Snapshot of the channel's buffer-pool counters."""
+        return self.pool.stats.snapshot()
 
 
 class Coupler:

@@ -87,6 +87,13 @@ class Linearization(ABC):
     def inject(self, rank: int, run: Run, values: np.ndarray, storage) -> None:
         """Write ``values`` into the positions of ``run`` in ``storage``."""
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the linearized values — what empty wire
+        buffers must be typed as.  Defaults to float64; linearizations
+        with a known storage dtype should override."""
+        return np.dtype(np.float64)
+
     # -- flat-index plan support (optional) -------------------------------
 
     def flat_storage(self, rank: int, storage) -> np.ndarray | None:
@@ -151,6 +158,10 @@ class DenseLinearization(Linearization):
         for s in self.descriptor.shape:
             n *= s
         return n
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self.descriptor.dtype)
 
     def _region_runs(self, region: Region) -> list[Run]:
         """Contiguous row-major runs covering ``region`` (vectorized)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.errors import MCTError
 from repro.mct.attrvect import AttrVect
 from repro.mct.gsmap import GlobalSegMap
-from repro.mct.router import _pair_rows, _run_row_indices, build_gsmap_schedule
+from repro.mct.router import _pair_wire, _run_row_indices, build_gsmap_schedule
 from repro.simmpi.communicator import Communicator
 
 REARRANGE_TAG = 161
@@ -48,13 +48,11 @@ class Rearranger:
         send_plan = self.schedule.send_plan(
             me, lambda run: _run_row_indices(src_gsmap, me, run))
         for pp in send_plan.pairs:
-            comm.send(_pair_rows(pp, av_src), pp.peer, tag)
+            comm.send(_pair_wire(pp, av_src), pp.peer, tag)
         received = 0
         recv_plan = self.schedule.recv_plan(
             me, lambda run: _run_row_indices(dst_gsmap, me, run))
         for pp in recv_plan.pairs:
-            rows = pp.idx if pp.idx is not None else \
-                slice(pp.lo, pp.lo + pp.size)
-            av_dst.data[rows, :] = comm.recv(source=pp.peer, tag=tag)
+            av_dst.data[pp.selector, :] = comm.recv(source=pp.peer, tag=tag)
             received += pp.size
         return received

@@ -30,6 +30,7 @@ from repro.mct.gsmap import GlobalSegMap
 from repro.mct.registry import MCTWorld
 from repro.schedule.builder import build_linear_schedule
 from repro.schedule.plan import LinearSchedule
+from repro.simmpi import payload
 
 ROUTER_TAG = 160
 
@@ -72,10 +73,19 @@ def _run_row_indices(gsmap: GlobalSegMap, pe: int, run) -> np.ndarray:
 
 def _pair_rows(plan_pair, av: AttrVect) -> np.ndarray:
     """The AttrVect rows a compiled pair plan addresses — a zero-copy
-    slice view on the contiguous fast path, a fancy-gather otherwise."""
+    view on the slice fast paths (contiguous or strided), a fancy-gather
+    otherwise."""
+    return av.data[plan_pair.selector, :]
+
+
+def _pair_wire(plan_pair, av: AttrVect):
+    """Transport marker for one pair's fused 2-D block: slice-like pairs
+    lend their live view (consumed synchronously by the send), gathered
+    blocks move (the fresh fancy-index result has no other owner)."""
+    block = _pair_rows(plan_pair, av)
     if plan_pair.idx is None:
-        return av.data[plan_pair.lo:plan_pair.lo + plan_pair.size, :]
-    return av.data[plan_pair.idx, :]
+        return payload.Borrowed(block)
+    return payload.OwnedBuffer(block)
 
 
 class Router:
@@ -129,10 +139,11 @@ class Router:
             plan = self.schedule.send_plan(
                 s, lambda run: _run_row_indices(gsmap, s, run))
             for pp in plan.pairs:
-                block = _pair_rows(pp, av_send)
                 if fused:
-                    comm.send(block, self._dst_ranks[pp.peer], tag)
+                    comm.send(_pair_wire(pp, av_send),
+                              self._dst_ranks[pp.peer], tag)
                 else:
+                    block = _pair_rows(pp, av_send)
                     for col in range(block.shape[1]):
                         comm.send(np.ascontiguousarray(block[:, col]),
                                   self._dst_ranks[pp.peer], tag)
@@ -150,8 +161,7 @@ class Router:
             plan = self.schedule.recv_plan(
                 d, lambda run: _run_row_indices(gsmap, d, run))
             for pp in plan.pairs:
-                rows = pp.idx if pp.idx is not None else \
-                    slice(pp.lo, pp.lo + pp.size)
+                rows = pp.selector
                 if fused:
                     av_recv.data[rows, :] = comm.recv(
                         source=self._src_ranks[pp.peer], tag=tag)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.errors import ConnectionError_
 from repro.dad.darray import DistributedArray
 from repro.dad.descriptor import DistArrayDescriptor
+from repro.schedule.bufpool import BufferPool
 from repro.schedule.builder import build_region_schedule
 from repro.schedule.executor import execute_inter
 from repro.simmpi.intercomm import Intercommunicator
@@ -81,6 +82,11 @@ class MxNConnection:
         self._cycle = 0
         self.transfers_completed = 0
         self._closed = False
+        # Persistent connections ride the zero-copy engines: pooled pack
+        # buffers on the source, recv-into-destination on the other side.
+        self._engine = None
+        self.pool = (BufferPool()
+                     if spec.kind is ConnectionKind.PERSISTENT else None)
 
     # -- the dataReady protocol -------------------------------------------
 
@@ -105,9 +111,20 @@ class MxNConnection:
             fire = cycle % self.spec.period == 0
         if not fire:
             return False
-        side = "src" if self.role == "source" else "dst"
-        execute_inter(self.schedule, self.inter, side, self.darray,
-                      tag=self._tag)
+        if self.spec.kind is ConnectionKind.PERSISTENT:
+            if self._engine is None:
+                if self.role == "source":
+                    self._engine = self.schedule.persistent_sender(
+                        self.inter, self.darray, tag=self._tag,
+                        pool=self.pool)
+                else:
+                    self._engine = self.schedule.persistent_receiver(
+                        self.inter, self.darray, tag=self._tag)
+            self._engine.step()
+        else:
+            side = "src" if self.role == "source" else "dst"
+            execute_inter(self.schedule, self.inter, side, self.darray,
+                          tag=self._tag)
         self.transfers_completed += 1
         return True
 
@@ -119,6 +136,12 @@ class MxNConnection:
     @property
     def bytes_per_transfer(self) -> int:
         return self.schedule.nbytes(self.spec.src_desc.dtype)
+
+    @property
+    def pool_stats(self) -> dict | None:
+        """Buffer-pool counters (persistent source side; None for
+        one-shot connections)."""
+        return self.pool.stats.snapshot() if self.pool is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"MxNConnection({self.role}, {self.spec.kind.value}, "

@@ -39,7 +39,10 @@ from repro.schedule.builder import (
     build_structured_schedule,
     build_sweep_schedule,
 )
+from repro.schedule.bufpool import BufferPool
 from repro.schedule.executor import (
+    PersistentReceiver,
+    PersistentSender,
     execute_inter,
     execute_intra,
     execute_linear_inter,
@@ -65,6 +68,9 @@ __all__ = [
     "execute_intra",
     "execute_inter",
     "execute_linear_inter",
+    "BufferPool",
+    "PersistentSender",
+    "PersistentReceiver",
     "pack_regions",
     "unpack_regions",
     "region_offsets",

@@ -13,15 +13,27 @@ one-message-per-region wire protocol; both sides of a transfer must use
 the same setting.
 
 The packed copy phase runs on **compiled index plans**
-(:mod:`repro.schedule.indexplan`): the first packed execution against a
-schedule compiles one flat ``int64`` gather/scatter index array per
-rank pair (cached on the schedule), after which every pack is a single
-``flat_local.take(idx)`` and every unpack a single
-``flat_local[idx] = buf`` — or a pure slice when the pair's regions are
-contiguous in local storage (zero-copy view on send).  The wire bytes
-and their order are identical to the region-loop pack
-(:func:`repro.schedule.packing.pack_regions`), which is kept as the
-reference path.
+(:mod:`repro.schedule.indexplan`) and the **zero-copy transport**
+(:mod:`repro.simmpi.payload`):
+
+* slice-like pairs (contiguous or strided) send a
+  :class:`~repro.simmpi.payload.Borrowed` view of local storage — the
+  transport consumes it synchronously, writing straight into a
+  preposted destination when one is armed;
+* index-array pairs send the freshly gathered buffer as an
+  :class:`~repro.simmpi.payload.OwnedBuffer` (move semantics — the
+  defensive send copy is skipped because the buffer has no other owner);
+* the receive side is **pipelined**: packed receives complete in
+  *arrival* order (iprobe sweep, blocking on the oldest pair only when
+  nothing is ready), so a destination scatters pair k while pair k+1 is
+  still in flight instead of serializing on plan order.
+
+Persistent channels go further: :class:`PersistentSender` packs through
+a :class:`~repro.schedule.bufpool.BufferPool` (zero steady-state
+allocations) and :class:`PersistentReceiver` preposts every pair's
+scatter as a recv-into-destination sink, so a steady-state step moves
+each byte exactly once — the A7 benchmark and the CI copies-per-byte
+gate measure precisely this path.
 
 Three deployment shapes are supported:
 
@@ -42,12 +54,44 @@ import numpy as np
 from repro.errors import ScheduleError
 from repro.dad.darray import DistributedArray
 from repro.linearize.linearization import Linearization
+from repro.schedule.bufpool import BufferPool
 from repro.schedule.plan import CommSchedule, LinearSchedule
+from repro.simmpi import payload
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator
 
 #: Default tag for schedule-driven data messages.
 TRANSFER_TAG = 64
+
+
+def _wire_payload(pp, flat: np.ndarray):
+    """The transport marker for one pair's packed send buffer.
+
+    Slice-like pairs lend their live view (Borrowed: consumed
+    synchronously, never aliased); index pairs move the freshly
+    gathered buffer (OwnedBuffer: no other owner exists).
+    """
+    buf = pp.gather(flat)
+    if pp.idx is None:
+        return payload.Borrowed(buf)
+    return payload.OwnedBuffer(buf)
+
+
+def _scatter_arrivals(pairs, flat, recv_from, probe_from) -> int:
+    """Scatter packed pair buffers in *arrival* order.
+
+    Sweeps the pending pairs with iprobe and consumes whichever peer's
+    message is already there; blocks on the oldest pending pair only
+    when none is — pipelining the unpack against in-flight deliveries
+    without busy-waiting.
+    """
+    pending = list(pairs)
+    received = 0
+    while pending:
+        pp = next((p for p in pending if probe_from(p.peer)), pending[0])
+        received += pp.scatter(flat, recv_from(pp.peer))
+        pending.remove(pp)
+    return received
 
 
 def execute_intra(schedule: CommSchedule, comm: Communicator,
@@ -89,7 +133,7 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
                 s, src_array.descriptor.local_regions(s))
             flat = src_array.flat_local()
             for pp in plan.pairs:
-                comm.send(pp.gather(flat), dst_ranks[pp.peer], tag)
+                comm.send(_wire_payload(pp, flat), dst_ranks[pp.peer], tag)
         else:
             for d, region in schedule.sends_from(s):
                 comm.send(src_array.local_view(region), dst_ranks[d], tag)
@@ -102,9 +146,11 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
             plan = schedule.recv_plan(
                 d, dst_array.descriptor.local_regions(d))
             flat = dst_array.flat_local()
-            for pp in plan.pairs:
-                data = comm.recv(source=src_ranks[pp.peer], tag=tag)
-                received += pp.scatter(flat, data)
+            received += _scatter_arrivals(
+                plan.pairs, flat,
+                lambda peer: comm.recv(source=src_ranks[peer], tag=tag),
+                lambda peer: comm.iprobe(source=src_ranks[peer],
+                                         tag=tag) is not None)
         else:
             for s, region in schedule.recvs_at(d):
                 data = comm.recv(source=src_ranks[s], tag=tag)
@@ -140,7 +186,8 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
             plan = schedule.send_plan(me, array.descriptor.local_regions(me))
             flat = array.flat_local()
             for pp in plan.pairs:
-                inter.send(pp.gather(flat), dest=peer(pp.peer), tag=tag)
+                inter.send(_wire_payload(pp, flat), dest=peer(pp.peer),
+                           tag=tag)
                 moved += pp.size
         else:
             for d, region in schedule.sends_from(me):
@@ -152,9 +199,10 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
         if packed:
             plan = schedule.recv_plan(me, array.descriptor.local_regions(me))
             flat = array.flat_local()
-            for pp in plan.pairs:
-                data = inter.recv(source=peer(pp.peer), tag=tag)
-                received += pp.scatter(flat, data)
+            received += _scatter_arrivals(
+                plan.pairs, flat,
+                lambda p: inter.recv(source=peer(p), tag=tag),
+                lambda p: inter.iprobe(source=peer(p), tag=tag) is not None)
         else:
             for s, region in schedule.recvs_at(me):
                 data = inter.recv(source=peer(s), tag=tag)
@@ -191,14 +239,16 @@ def execute_linear_inter(schedule: LinearSchedule, inter: Intercommunicator,
             plan = schedule.send_plan(
                 me, lambda run: lin.run_indices(me, run))
             for pp in plan.pairs:
-                inter.send(pp.gather(flat), dest=pp.peer, tag=tag)
+                inter.send(_wire_payload(pp, flat), dest=pp.peer, tag=tag)
                 moved += pp.size
         else:
             for d, runs, offsets in schedule.send_groups(me):
                 buf = np.concatenate(
                     [np.asarray(lin.extract(me, run, storage)).reshape(-1)
-                     for run in runs]) if runs else np.empty(0)
-                inter.send(buf, dest=d, tag=tag)
+                     for run in runs]) if runs else np.empty(0, dtype=lin.dtype)
+                # np.concatenate always yields a fresh contiguous buffer
+                # with no other owner, so it moves rather than copies.
+                inter.send(payload.OwnedBuffer(buf), dest=d, tag=tag)
                 moved += int(offsets[-1])
         return moved
     if side == "dst":
@@ -207,9 +257,10 @@ def execute_linear_inter(schedule: LinearSchedule, inter: Intercommunicator,
         if flat is not None:
             plan = schedule.recv_plan(
                 me, lambda run: lin.run_indices(me, run))
-            for pp in plan.pairs:
-                values = inter.recv(source=pp.peer, tag=tag)
-                received += pp.scatter(flat, values)
+            received += _scatter_arrivals(
+                plan.pairs, flat,
+                lambda p: inter.recv(source=p, tag=tag),
+                lambda p: inter.iprobe(source=p, tag=tag) is not None)
         else:
             for s, runs, offsets in schedule.recv_groups(me):
                 values = np.asarray(inter.recv(source=s, tag=tag)).reshape(-1)
@@ -222,3 +273,111 @@ def execute_linear_inter(schedule: LinearSchedule, inter: Intercommunicator,
                 received += int(offsets[-1])
         return received
     raise ValueError(f"side must be 'src' or 'dst', got {side!r}")
+
+
+# -- persistent-channel engines ---------------------------------------------
+
+class PersistentSender:
+    """Source half of a persistent channel over an intercommunicator.
+
+    Compiles the send plan once and, on every :meth:`step`, ships each
+    pair with the cheapest safe semantics: slice-like pairs lend a live
+    view (Borrowed — written straight into the peer's preposted
+    destination when armed), index pairs pack into a pooled staging
+    buffer shipped with move semantics (OwnedBuffer) whose release
+    returns the buffer to the pool.  In steady state the pool performs
+    zero allocations; ``pool.stats`` proves it.
+    """
+
+    def __init__(self, schedule: CommSchedule, inter: Intercommunicator,
+                 array: DistributedArray, *, tag: int = TRANSFER_TAG,
+                 rank: int | None = None,
+                 peer_map: list[int] | None = None,
+                 pool: BufferPool | None = None):
+        me = rank if rank is not None else inter.rank
+        self._inter = inter
+        self._tag = tag
+        self._peer_map = peer_map
+        self._me = me
+        self._array = array
+        self._dtype = np.dtype(array.descriptor.dtype)
+        self._plan = schedule.send_plan(
+            me, array.descriptor.local_regions(me))
+        self.pool = pool if pool is not None else BufferPool()
+
+    def _peer(self, r: int) -> int:
+        return self._peer_map[r] if self._peer_map is not None else r
+
+    def step(self) -> int:
+        """Send the current local array contents; returns elements sent."""
+        flat = self._array.flat_local()
+        moved = 0
+        for pp in self._plan.pairs:
+            if pp.idx is None:
+                wire = payload.Borrowed(pp.gather(flat))
+            else:
+                buf, release = self.pool.loan(
+                    ("send", self._me, pp.peer), pp.size, self._dtype)
+                pp.gather_into(flat, buf)
+                wire = payload.OwnedBuffer(buf, release=release)
+            self._inter.send(wire, dest=self._peer(pp.peer), tag=self._tag)
+            moved += pp.size
+        return moved
+
+
+class PersistentReceiver:
+    """Destination half of a persistent channel over an intercommunicator.
+
+    :meth:`arm` preposts one recv-into-destination slot per pair — the
+    sink is the pair plan's scatter against the destination array's
+    consolidated ``flat_local()`` base, so matching sends write their
+    bytes straight into final storage with no staging buffer.
+    :meth:`complete` blocks until all armed slots have fired.
+    :meth:`step` is ``arm`` (if not already armed) + ``complete``:
+    arming happens *inside* the blocking receive call, so a producer
+    running ahead of the consumer falls back to snapshot buffering and
+    the consumer's view of its own array never changes outside a pull.
+    """
+
+    def __init__(self, schedule: CommSchedule, inter: Intercommunicator,
+                 array: DistributedArray, *, tag: int = TRANSFER_TAG,
+                 rank: int | None = None,
+                 peer_map: list[int] | None = None):
+        me = rank if rank is not None else inter.rank
+        self._inter = inter
+        self._tag = tag
+        self._peer_map = peer_map
+        self._array = array
+        self._plan = schedule.recv_plan(
+            me, array.descriptor.local_regions(me))
+        self._slots: list | None = None
+
+    def _peer(self, r: int) -> int:
+        return self._peer_map[r] if self._peer_map is not None else r
+
+    def _sink(self, pp):
+        flat = self._array.flat_local()
+        return lambda values: pp.scatter(flat, values)
+
+    def arm(self) -> None:
+        """Prepost every pair's recv-into-destination slot.  Queued
+        messages are consumed immediately (FIFO-safe); later sends
+        write straight into the destination array."""
+        if self._slots is not None:
+            return
+        self._slots = [
+            self._inter.prepost_recv(self._sink(pp),
+                                     source=self._peer(pp.peer),
+                                     tag=self._tag)
+            for pp in self._plan.pairs]
+
+    def complete(self, *, timeout: float | None = None) -> int:
+        """Block until all armed slots have fired; returns elements
+        received.  Arms first if needed."""
+        self.arm()
+        slots, self._slots = self._slots, None
+        return sum(slot.wait(timeout) for slot in slots)
+
+    def step(self) -> int:
+        """One pull: arm (unless pre-armed) and complete."""
+        return self.complete()

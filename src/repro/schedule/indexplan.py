@@ -21,6 +21,13 @@ with a **contiguity fast path**: when a pair's regions flatten to one
 ascending unit-stride range, the index array is dropped entirely and the
 plan carries a ``[lo, lo + size)`` slice — gather then returns a
 zero-copy *view* of local storage and scatter is one slice assignment.
+A **strided fast path** generalizes this: indices forming any ascending
+arithmetic progression (the signature of cyclic ownership, where every
+peer takes every k-th owned element) compress to ``(lo, size, step)``
+and gather/scatter become strided-slice operations — still a zero-copy
+view on the send side, which is what lets persistent channels deliver
+cyclic pairs straight into the destination's ``flat_local()`` base with
+a single copy per byte.
 
 Plans are pure functions of (schedule groups, owner patch layout), so
 they are compiled once and cached on the schedule next to
@@ -37,7 +44,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ScheduleError
-from repro.util.counters import Counters
+from repro.util.counters import Counters, TRANSPORT_STATS
 from repro.util.indexing import region_flat_indices, row_major_strides
 from repro.util.regions import Region
 
@@ -63,25 +70,62 @@ class PairPlan:
     """One rank pair's compiled copy phase.
 
     ``idx`` holds flat element indices into the owning rank's local
-    buffer, in wire order.  ``idx is None`` is the contiguity fast path:
-    the pair's elements are exactly ``flat_local[lo:lo + size]``.
+    buffer, in wire order.  ``idx is None`` is the slice fast path: the
+    pair's elements are exactly ``flat_local[lo:lo + size*step:step]`` —
+    unit ``step`` is the classic contiguous case, ``step > 1`` the
+    strided (arithmetic-progression) case that cyclic templates produce.
     """
 
     peer: int
     size: int
     lo: int
     idx: np.ndarray | None
+    step: int = 1
 
     @property
     def contiguous(self) -> bool:
-        return self.idx is None
+        """Unit-stride slice: the gather view is itself contiguous."""
+        return self.idx is None and self.step == 1
+
+    @property
+    def strided(self) -> bool:
+        """Non-unit-stride slice (cyclic signature): still a zero-copy
+        view on gather, still a single slice assignment on scatter."""
+        return self.idx is None and self.step > 1
+
+    @property
+    def selector(self):
+        """The NumPy selector addressing this pair's elements in the
+        owning rank's flat local buffer — a slice on the fast paths,
+        the index array otherwise.  Safe for any consumer that indexes
+        a dimension with it (e.g. 2-D AttrVect row selection)."""
+        if self.idx is None:
+            return slice(self.lo, self.lo + self.size * self.step, self.step)
+        return self.idx
 
     def gather(self, flat_local: np.ndarray) -> np.ndarray:
-        """This pair's packed send buffer (a zero-copy view when
-        contiguous)."""
+        """This pair's packed send buffer (a zero-copy view on the slice
+        fast paths, a fresh gathered buffer otherwise)."""
         if self.idx is None:
-            return flat_local[self.lo:self.lo + self.size]
-        return flat_local.take(self.idx)
+            return flat_local[self.selector]
+        out = flat_local.take(self.idx)
+        TRANSPORT_STATS.add("bytes_copied", out.nbytes)
+        TRANSPORT_STATS.add("alloc_bytes", out.nbytes)
+        return out
+
+    def gather_into(self, flat_local: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather this pair's elements into a caller-provided (pooled)
+        buffer — the zero-allocation steady-state pack."""
+        if out.size != self.size:
+            raise ScheduleError(
+                f"staging buffer holds {out.size} elements, plan expects "
+                f"{self.size}")
+        if self.idx is None:
+            np.copyto(out, flat_local[self.selector])
+        else:
+            flat_local.take(self.idx, out=out)
+        TRANSPORT_STATS.add("bytes_copied", out.nbytes)
+        return out
 
     def scatter(self, flat_local: np.ndarray, values) -> int:
         """Write a packed buffer back into local storage; returns the
@@ -92,9 +136,10 @@ class PairPlan:
                 f"packed buffer holds {values.size} elements, plan expects "
                 f"{self.size} — sender and receiver disagree on packing")
         if self.idx is None:
-            flat_local[self.lo:self.lo + self.size] = values
+            flat_local[self.selector] = values
         else:
             flat_local[self.idx] = values
+        TRANSPORT_STATS.add("bytes_copied", values.nbytes)
         return self.size
 
 
@@ -116,13 +161,19 @@ class RankPlan:
 
 def plan_from_indices(peer: int, idx: np.ndarray) -> PairPlan:
     """Wrap a flat index array as a :class:`PairPlan`, detecting the
-    contiguous fast path (ascending unit-stride indices)."""
+    slice fast paths: ascending unit-stride indices (contiguous) and
+    any other ascending arithmetic progression (strided — the cyclic
+    signature)."""
     idx = np.ascontiguousarray(idx, dtype=np.int64)
     size = int(idx.size)
     if size == 0:
         return PairPlan(peer, 0, 0, None)
-    if size == 1 or bool((np.diff(idx) == 1).all()):
+    if size == 1:
         return PairPlan(peer, size, int(idx[0]), None)
+    d = np.diff(idx)
+    step = int(d[0])
+    if step >= 1 and bool((d == step).all()):
+        return PairPlan(peer, size, int(idx[0]), None, step)
     return PairPlan(peer, size, 0, idx)
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import ScheduleError
 from repro.dad.darray import DistributedArray
+from repro.util.counters import TRANSPORT_STATS
 from repro.util.regions import Region
 
 __all__ = ["pack_regions", "unpack_regions", "region_offsets"]
@@ -51,6 +52,10 @@ def pack_regions(array: DistributedArray, regions: Sequence[Region],
     out = np.empty(offsets[-1], dtype=array.descriptor.dtype)
     for r, lo, hi in zip(regions, offsets, offsets[1:]):
         out[lo:hi] = array.local_view(r).reshape(-1)
+    # Account the staging copy like the plan path does, so copies-per-
+    # byte comparisons between the two pack paths stay apples-to-apples.
+    TRANSPORT_STATS.add("bytes_copied", out.nbytes)
+    TRANSPORT_STATS.add("alloc_bytes", out.nbytes)
     return out
 
 
@@ -73,4 +78,5 @@ def unpack_regions(array: DistributedArray, regions: Sequence[Region],
             f"{offsets[-1]} — sender and receiver disagree on packing")
     for r, lo, hi in zip(regions, offsets, offsets[1:]):
         array.local_view(r)[...] = buffer[lo:hi].reshape(r.shape)
+    TRANSPORT_STATS.add("bytes_copied", buffer.nbytes)
     return int(offsets[-1])

@@ -154,6 +154,25 @@ class CommSchedule:
             self._plans[key] = plan
         return plan
 
+    # -- persistent-channel engines ------------------------------------------
+
+    def persistent_sender(self, inter, array, **kw):
+        """A :class:`~repro.schedule.executor.PersistentSender` bound to
+        this schedule: pooled pack buffers + move/borrow-semantics
+        sends, one :meth:`~repro.schedule.executor.PersistentSender.
+        step` per transfer.  Keyword arguments pass through (``tag``,
+        ``rank``, ``peer_map``, ``pool``)."""
+        from repro.schedule.executor import PersistentSender
+        return PersistentSender(self, inter, array, **kw)
+
+    def persistent_receiver(self, inter, array, **kw):
+        """A :class:`~repro.schedule.executor.PersistentReceiver` bound
+        to this schedule: preposted recv-into-destination slots writing
+        straight into ``array``'s consolidated local base (``tag``,
+        ``rank``, ``peer_map`` pass through)."""
+        from repro.schedule.executor import PersistentReceiver
+        return PersistentReceiver(self, inter, array, **kw)
+
     @property
     def pair_count(self) -> int:
         """Number of communicating (src, dst) rank pairs — the packed

@@ -110,9 +110,15 @@ class Communicator:
     # -- point-to-point ------------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Buffered send: copies ``obj`` and returns immediately."""
+        """Buffered send: isolates ``obj`` and returns immediately.
+
+        Plain payloads are copied (value semantics);
+        :class:`~repro.simmpi.payload.OwnedBuffer` moves and
+        :class:`~repro.simmpi.payload.Borrowed` lends — see
+        :mod:`repro.simmpi.payload` for the ownership contract.
+        """
         self._check_rank(dest, "destination")
-        data, nbytes = payload.pack(obj)
+        data, nbytes, release, live = payload.wire_parts(obj)
         # Collective-internal protocol traffic is counted separately so
         # benchmarks can report application data movement alone.
         kind = "internal_msgs" if tag >= INTERNAL_TAG_BASE else "msgs"
@@ -120,7 +126,9 @@ class Communicator:
         self.job.counters.add("bytes", nbytes)
         self.job.counters.add(f"rank{self.job_ranks[dest]}.rx_bytes", nbytes)
         self._mailbox(dest).deliver(
-            Envelope(self.context, self._rank, tag, data, nbytes))
+            Envelope(self.context, self._rank, tag, data, nbytes,
+                     release=release),
+            live=live)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              *, timeout: float | None = None,
@@ -159,6 +167,18 @@ class Communicator:
         if env is None:
             return None
         return Status(env.source, env.tag, env.nbytes)
+
+    def prepost_recv(self, sink: Callable[[Any], int],
+                     source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Arm a preposted receive (MPI_Recv_init analogue): a matching
+        send writes its payload straight through ``sink`` with no
+        staging buffer.  Returns the
+        :class:`~repro.simmpi.matching.PrepostSlot`; complete it with
+        ``slot.wait()``."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        return self._mailbox(self._rank).prepost(
+            self.context, source, tag, sink)
 
     # -- collectives -----------------------------------------------------------
 

@@ -171,13 +171,14 @@ class Intercommunicator:
             raise CommunicatorError(
                 f"remote rank {dest} out of range (remote size "
                 f"{self.remote_size})")
-        data, nbytes = payload.pack(obj)
+        data, nbytes, release, live = payload.wire_parts(obj)
         self.local_comm.job.counters.add("inter_msgs")
         self.local_comm.job.counters.add("inter_bytes", nbytes)
         mailbox = self._remote_job.mailboxes[self._remote_job_ranks[dest]]
         mailbox.deliver(
             Envelope(self._send_context, self.local_comm.rank, tag,
-                     data, nbytes))
+                     data, nbytes, release=release),
+            live=live)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              *, timeout: float | None = None,
@@ -206,6 +207,48 @@ class Intercommunicator:
             return None
         return Status(env.source, env.tag, env.nbytes)
 
+    def prepost_recv(self, sink, source: int = ANY_SOURCE,
+                     tag: int = ANY_TAG):
+        """Arm a preposted receive from remote rank ``source``: a
+        matching send writes its payload straight through ``sink`` (no
+        staging buffer).  Returns the
+        :class:`~repro.simmpi.matching.PrepostSlot`."""
+        if source != ANY_SOURCE and not (0 <= source < self.remote_size):
+            raise CommunicatorError(
+                f"remote rank {source} out of range (remote size "
+                f"{self.remote_size})")
+        return self._my_mailbox().prepost(
+            self._recv_context, source, tag, sink)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Intercommunicator(local {self.rank}/{self.local_size}, "
                 f"remote size {self.remote_size})")
+
+
+def couple_jobs(src_job: "Job", dst_job: "Job",
+                ) -> tuple[list[Intercommunicator], list[Intercommunicator]]:
+    """Directly construct paired intercommunicators between two jobs.
+
+    The name-service rendezvous needs every rank running on its own
+    thread; deterministic single-threaded harnesses (transport tests,
+    the A7 steady-state benchmark) instead build the endpoints by hand.
+    Returns one intercommunicator per rank of each job
+    (``src_inters[i]`` talks to ``dst_inters[j]`` and vice versa) with
+    properly isolated contexts — messaging semantics are identical to a
+    rendezvous-built pair.
+    """
+    ctx_src = allocate_context()   # src ranks' local comms
+    ctx_dst = allocate_context()   # dst ranks' local comms
+    ctx_fwd = allocate_context()   # src -> dst traffic
+    ctx_bwd = allocate_context()   # dst -> src traffic
+    src_ranks = tuple(range(src_job.n))
+    dst_ranks = tuple(range(dst_job.n))
+    src_inters = [
+        Intercommunicator(Communicator(src_job, ctx_src, r, src_ranks),
+                          ctx_bwd, ctx_fwd, dst_job, dst_ranks)
+        for r in range(src_job.n)]
+    dst_inters = [
+        Intercommunicator(Communicator(dst_job, ctx_dst, r, dst_ranks),
+                          ctx_fwd, ctx_bwd, src_job, src_ranks)
+        for r in range(dst_job.n)]
+    return src_inters, dst_inters

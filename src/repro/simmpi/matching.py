@@ -7,18 +7,42 @@ non-overtaking rule: two messages from the same source with matching
 tags are received in send order.
 
 Blocking receivers register what they are waiting for so the job's
-watchdog can produce a rank-state dump on deadlock, and they poll an
-abort flag so a detected deadlock raises instead of hanging forever.
+watchdog can produce a rank-state dump on deadlock.  Abort is fully
+event-driven: :meth:`AbortFlag.set` notifies every subscribed mailbox
+condition, so a blocked receive raises immediately instead of noticing
+the flag on the next poll tick (there is no poll tick any more).
+
+Two zero-copy transport hooks live here:
+
+* Envelopes may carry a ``release`` callback — the loan-return hook of
+  runtime-owned (pooled) buffers, fired once the transport is done with
+  the buffer.
+* :meth:`Mailbox.prepost` arms a **preposted receive**
+  (``MPI_Recv_init`` / rendezvous-RDMA analogue): the receiver
+  registers a destination *sink* before the message exists, and a
+  matching send writes its bytes straight through the sink — in the
+  sender's thread, with no staging buffer and no queue traversal on
+  receipt.  Borrowed (lent-view) payloads hit their fast path here:
+  the view is consumed synchronously inside ``deliver``, so no alias to
+  the sender's storage ever survives, and when no slot is armed the
+  view degrades to a snapshot — value semantics either way.
+
+FIFO safety: ``prepost`` first drains the oldest matching *queued*
+envelope, and ``deliver`` only completes a slot when no queued envelope
+matches it, so a preposted receive can never overtake an earlier send.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import DeadlockError
+from repro.simmpi import payload
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
+from repro.util.counters import TRANSPORT_STATS
 
 
 @dataclass(slots=True)
@@ -31,30 +55,88 @@ class Envelope:
     payload: Any
     nbytes: int
     seq: int = 0
+    #: Loan-return callback for runtime-owned buffers (pooled pack
+    #: buffers): invoked exactly once when the transport has consumed
+    #: the payload without handing the buffer itself to the receiver.
+    release: Optional[Callable[[], None]] = None
 
 
 class AbortFlag:
-    """Shared job-wide abort signal set by the deadlock watchdog."""
+    """Shared job-wide abort signal set by the deadlock watchdog.
+
+    Mailboxes subscribe their condition variables; :meth:`set` notifies
+    all of them so blocked receivers wake and raise immediately.
+    """
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._waiters: list[threading.Condition] = []
         self.reason: str = ""
         self.blocked_dump: dict[int, str] = {}
+
+    def subscribe(self, cond: threading.Condition) -> None:
+        """Register a condition to be notified when the flag is set."""
+        with self._lock:
+            self._waiters.append(cond)
 
     def set(self, reason: str, blocked: dict[int, str]) -> None:
         self.reason = reason
         self.blocked_dump = blocked
         self._event.set()
+        with self._lock:
+            waiters = list(self._waiters)
+        for cond in waiters:
+            with cond:
+                cond.notify_all()
 
     def is_set(self) -> bool:
         return self._event.is_set()
 
 
+class PrepostSlot:
+    """One armed preposted receive (recv-into-destination).
+
+    ``sink(values)`` consumes the matching payload — typically a
+    compiled pair plan's scatter writing straight into the destination
+    array's consolidated ``flat_local()`` base — and returns the element
+    count.  It runs in whichever thread completes the slot (the sender's
+    on direct delivery), under the mailbox lock.
+    """
+
+    __slots__ = ("context", "source", "tag", "sink", "done", "result",
+                 "_mailbox")
+
+    def __init__(self, mailbox: "Mailbox", context: int, source: int,
+                 tag: int, sink: Callable[[Any], int]):
+        self.context = context
+        self.source = source
+        self.tag = tag
+        self.sink = sink
+        self.done = False
+        self.result: int = 0
+        self._mailbox = mailbox
+
+    def matches(self, env: Envelope) -> bool:
+        if env.context != self.context:
+            return False
+        if self.source != ANY_SOURCE and env.source != self.source:
+            return False
+        return self.tag == ANY_TAG or env.tag == self.tag
+
+    def _complete(self, values: Any) -> None:
+        # caller holds the mailbox lock
+        self.result = int(self.sink(values))
+        self.done = True
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Block until the slot's message has been consumed; returns the
+        sink's element count."""
+        return self._mailbox._wait_slot(self, timeout)
+
+
 class Mailbox:
     """Thread-safe message store for one rank."""
-
-    #: Seconds between abort-flag polls while blocked.
-    POLL_INTERVAL = 0.05
 
     def __init__(self, rank: int, abort: AbortFlag,
                  progress: Optional[Callable[[], None]] = None,
@@ -64,22 +146,58 @@ class Mailbox:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._messages: list[Envelope] = []
+        self._slots: list[PrepostSlot] = []
         self._seq = 0
         # progress(): bump the job's global progress counter (watchdog input)
         self._progress = progress or (lambda: None)
         # block_state(rank, desc | None): record/clear what this rank waits on
         self._block_state = block_state or (lambda rank, desc: None)
+        abort.subscribe(self._cond)
 
     # -- sending ----------------------------------------------------------
 
-    def deliver(self, env: Envelope) -> None:
-        """Called from the *sender's* thread: enqueue and wake receivers."""
+    def deliver(self, env: Envelope, live=None) -> None:
+        """Called from the *sender's* thread: complete a preposted slot
+        directly, else enqueue, and wake receivers.
+
+        ``live`` is a lent (borrowed) view consumed synchronously: it is
+        written through an armed slot's sink right here, or snapshotted
+        into ``env.payload`` before enqueueing — no alias to the
+        sender's storage survives this call either way.
+        """
         with self._cond:
+            slot = self._match_slot(env)
+            if slot is not None:
+                self._slots.remove(slot)
+                slot._complete(live if live is not None else env.payload)
+                if env.release is not None:
+                    env.release()
+                TRANSPORT_STATS.add("direct_deliveries")
+                TRANSPORT_STATS.add("direct_bytes", env.nbytes)
+                self._progress()
+                self._cond.notify_all()
+                return
+            if live is not None:
+                env.payload = payload.snapshot(live)
             self._seq += 1
             env.seq = self._seq
             self._messages.append(env)
             self._progress()
             self._cond.notify_all()
+
+    def _match_slot(self, env: Envelope) -> Optional[PrepostSlot]:
+        """Oldest armed slot matching ``env`` — but only if no *queued*
+        envelope also matches that slot (FIFO: queued messages from the
+        same (context, source, tag) stream must complete it first).
+        Slot arming drains the queue (see :meth:`prepost`), so in
+        practice a matching queued envelope cannot exist; the check
+        keeps the invariant local and obvious."""
+        for slot in self._slots:
+            if slot.matches(env):
+                if any(slot.matches(m) for m in self._messages):
+                    return None
+                return slot
+        return None
 
     # -- receiving --------------------------------------------------------
 
@@ -94,19 +212,75 @@ class Mailbox:
             return i
         return None
 
+    def prepost(self, context: int, source: int, tag: int,
+                sink: Callable[[Any], int]) -> PrepostSlot:
+        """Arm a preposted receive: subsequent matching sends write
+        straight through ``sink`` with no staging buffer.
+
+        A message that was already queued when the slot is armed is
+        consumed immediately (preserving per-stream FIFO order); the
+        returned slot may then already be ``done``.  Complete the slot
+        with :meth:`PrepostSlot.wait`.
+        """
+        slot = PrepostSlot(self, context, source, tag, sink)
+        with self._cond:
+            idx = self._find(context, source, tag)
+            if idx is not None:
+                env = self._messages.pop(idx)
+                slot._complete(env.payload)
+                if env.release is not None:
+                    env.release()
+                self._progress()
+            else:
+                self._slots.append(slot)
+        return slot
+
+    def _wait_slot(self, slot: PrepostSlot, timeout: float | None) -> int:
+        desc = (f"prepost_recv(context={slot.context}, "
+                f"source={'ANY' if slot.source == ANY_SOURCE else slot.source}, "
+                f"tag={'ANY' if slot.tag == ANY_TAG else slot.tag})")
+        limit = None if timeout is None else (
+            threading.TIMEOUT_MAX if timeout <= 0 else timeout)
+        start = time.monotonic()
+        self._block_state(self.rank, desc)
+        try:
+            with self._cond:
+                while True:
+                    if slot.done:
+                        self._progress()
+                        return slot.result
+                    if self._abort.is_set():
+                        raise DeadlockError(
+                            f"rank {self.rank} aborted while blocked in {desc}: "
+                            f"{self._abort.reason}",
+                            blocked=self._abort.blocked_dump,
+                        )
+                    if limit is None:
+                        self._cond.wait()
+                    else:
+                        waited = time.monotonic() - start
+                        if waited >= limit:
+                            raise TimeoutError(
+                                f"rank {self.rank}: no match for {desc} "
+                                f"after {waited:.2f}s")
+                        self._cond.wait(limit - waited)
+        finally:
+            self._block_state(self.rank, None)
+
     def wait_match(self, context: int, source: int, tag: int,
                    *, timeout: float | None = None) -> Envelope:
         """Block until a matching envelope arrives, then remove and return it.
 
         Raises :class:`DeadlockError` if the job's watchdog aborts, or
         :class:`TimeoutError` if an explicit ``timeout`` expires first.
+        Wakeups are purely event-driven (delivery or abort notification).
         """
         desc = (f"recv(context={context}, "
                 f"source={'ANY' if source == ANY_SOURCE else source}, "
                 f"tag={'ANY' if tag == ANY_TAG else tag})")
-        deadline = None if timeout is None else (
+        limit = None if timeout is None else (
             threading.TIMEOUT_MAX if timeout <= 0 else timeout)
-        waited = 0.0
+        start = time.monotonic()
         self._block_state(self.rank, desc)
         try:
             with self._cond:
@@ -122,12 +296,15 @@ class Mailbox:
                             f"{self._abort.reason}",
                             blocked=self._abort.blocked_dump,
                         )
-                    if deadline is not None and waited >= deadline:
-                        raise TimeoutError(
-                            f"rank {self.rank}: no match for {desc} "
-                            f"after {waited:.2f}s")
-                    self._cond.wait(self.POLL_INTERVAL)
-                    waited += self.POLL_INTERVAL
+                    if limit is None:
+                        self._cond.wait()
+                    else:
+                        waited = time.monotonic() - start
+                        if waited >= limit:
+                            raise TimeoutError(
+                                f"rank {self.rank}: no match for {desc} "
+                                f"after {waited:.2f}s")
+                        self._cond.wait(limit - waited)
         finally:
             self._block_state(self.rank, None)
 

@@ -36,3 +36,11 @@ class Counters:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Counters({self.snapshot()!r})"
+
+
+#: Process-wide transport accounting (bytes copied, buffers moved,
+#: direct recv-into-destination deliveries, ...).  Lives here rather
+#: than in :mod:`repro.simmpi.payload` users' modules to avoid import
+#: cycles between the payload, matching and schedule layers; reset it
+#: around a measured section to get per-section deltas.
+TRANSPORT_STATS = Counters()

@@ -168,22 +168,27 @@ class TestContiguityFastPath:
         buf = plan.pairs[0].gather(flat)
         assert buf.base is not None and np.shares_memory(buf, flat)
 
-    def test_cyclic_pairs_need_index_arrays(self):
+    def test_cyclic_pairs_compile_to_strided_slices(self):
         """Block → cyclic: each destination picks every other element
-        out of the source's contiguous patch, so the pair cannot be one
-        slice and the index-array path must engage (and still pack the
-        same bytes as the loop)."""
+        out of the source's contiguous patch — an arithmetic progression
+        that compresses to a strided ``(lo, size, step)`` slice, so the
+        gather stays a zero-copy view (and still packs the same bytes
+        as the loop)."""
         src = DistArrayDescriptor(block_template((12,), (2,)))
         dst = DistArrayDescriptor(CartesianTemplate([Cyclic(12, 2)]))
         sched = build_region_schedule(src, dst)
         plan = sched.send_plan(0, src.local_regions(0))
-        assert any(p.idx is not None for p in plan.pairs)
+        assert any(p.strided for p in plan.pairs)
+        assert all(not p.contiguous for p in plan.pairs if p.strided)
         arr = DistributedArray.from_global(src, 0, np.arange(12.0))
+        flat = arr.flat_local()
         for pp, (d, regions, offsets) in zip(plan.pairs,
                                              sched.send_groups(0)):
             np.testing.assert_array_equal(
-                pp.gather(arr.flat_local()),
+                pp.gather(flat),
                 pack_regions(arr, regions, offsets))
+            if pp.idx is None:
+                assert np.shares_memory(pp.gather(flat), flat)
 
     def test_2d_row_block_is_contiguous(self):
         """Full-width row blocks of a 2-D array are contiguous in the
