@@ -36,6 +36,7 @@ EXPERIMENTS = [
     ("A5", "bench_schedule_scaling"),
     ("A6", "bench_pack_throughput"),
     ("A7", "bench_persistent_steady_state"),
+    ("A8", "bench_multicore_scaling"),
 ]
 
 

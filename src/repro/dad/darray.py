@@ -57,6 +57,14 @@ class DistributedArray:
         for region, view in self.patches.items():
             view[...] = patches[region]
 
+    def __reduce__(self):
+        # Default pickling would serialize both _base and the patch
+        # views, losing the consolidated-buffer aliasing on rebuild.
+        # Reconstructing through the constructor restores it (the procs
+        # backend ships DistributedArrays between rank processes).
+        return (type(self), (self.descriptor, self.rank,
+                             {r: v.copy() for r, v in self.patches.items()}))
+
     def _bind_patches(self, owned: list[Region]) -> dict[Region, np.ndarray]:
         """Carve the base buffer into one shaped view per owned region
         (lo-sorted order — the layout index plans are compiled against).

@@ -28,25 +28,38 @@ class DeadlockError(ReproError):
     suites fail with diagnostics instead of hanging.
     """
 
-    def __init__(self, message: str, blocked: dict[int, str] | None = None):
+    def __init__(self, message: str, blocked: dict | None = None):
         super().__init__(message)
         #: Mapping of rank -> description of what the rank is blocked on.
+        #: Keys are plain ranks for single jobs, ``"{job} rank {r}"``
+        #: strings for coupled launches.
         self.blocked = dict(blocked or {})
+
+    def __reduce__(self):
+        # keep `blocked` across pickling (procs backend ships rank
+        # exceptions back to the supervisor process)
+        return (type(self), (self.args[0], self.blocked))
 
 
 class SpmdError(ReproError):
     """One or more ranks of an SPMD job raised an exception.
 
-    The original per-rank exceptions are available in :attr:`failures`.
+    The original per-rank exceptions are available in :attr:`failures`,
+    keyed by rank for :func:`~repro.simmpi.run_spmd` and by
+    ``"{job} rank {r}"`` strings for :func:`~repro.simmpi.run_coupled`.
     """
 
-    def __init__(self, failures: dict[int, BaseException]):
+    def __init__(self, failures: dict):
         self.failures = dict(failures)
         lines = [f"{len(failures)} rank(s) failed:"]
-        for rank in sorted(failures):
+        for rank in sorted(failures, key=str):
             exc = failures[rank]
-            lines.append(f"  rank {rank}: {type(exc).__name__}: {exc}")
+            who = rank if isinstance(rank, str) else f"rank {rank}"
+            lines.append(f"  {who}: {type(exc).__name__}: {exc}")
         super().__init__("\n".join(lines))
+
+    def __reduce__(self):
+        return (type(self), (self.failures,))
 
 
 class DistributionError(ReproError):

@@ -43,10 +43,15 @@ _DATA_TAG = 151
 
 def redistribute(global_array: np.ndarray,
                  src_grid: Sequence[int],
-                 dst_grid: Sequence[int]) -> np.ndarray:
+                 dst_grid: Sequence[int],
+                 *, backend: str | None = None) -> np.ndarray:
     """Scatter ``global_array`` onto ``src_grid`` blocks, redistribute to
     ``dst_grid`` blocks, and reassemble — the whole Fig. 1 pipeline in
-    one call (runs an SPMD job internally)."""
+    one call (runs an SPMD job internally).
+
+    ``backend="procs"`` runs the ranks as real processes with payloads
+    in shared memory (see :mod:`repro.simmpi.transport`); the default
+    follows ``REPRO_BACKEND`` / threads."""
     global_array = np.asarray(global_array)
     src = DistArrayDescriptor(
         block_template(global_array.shape, src_grid), global_array.dtype)
@@ -65,7 +70,7 @@ def redistribute(global_array: np.ndarray,
                       dst_ranks=range(dst.nranks))
         return da
 
-    parts = [p for p in run_spmd(n, main) if p is not None]
+    parts = [p for p in run_spmd(n, main, backend=backend) if p is not None]
     return DistributedArray.assemble(parts)
 
 

@@ -20,6 +20,13 @@ Semantics notes: sends are buffered (a send never blocks), receives
 block; message payloads are copied at send time (value semantics, like a
 real wire).  Every communicator counts messages, bytes and barriers for
 the benchmark harness.
+
+Ranks execute on a pluggable backend (``backend=`` on
+:func:`run_spmd`/:func:`run_coupled`, or ``REPRO_BACKEND``):
+``"threads"`` — the historical in-process default — or ``"procs"`` —
+one forked process per rank with payloads in shared-memory slot rings,
+so redistribution throughput scales with cores
+(:mod:`repro.simmpi.transport`, :mod:`repro.simmpi.procs`).
 """
 
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
@@ -27,15 +34,18 @@ from repro.simmpi.status import Status
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator, NameService
 from repro.simmpi.runner import SpmdRunner, run_spmd, run_coupled
+from repro.simmpi.transport import BACKENDS, resolve_backend
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "BACKENDS",
     "Status",
     "Communicator",
     "Intercommunicator",
     "NameService",
     "SpmdRunner",
+    "resolve_backend",
     "run_spmd",
     "run_coupled",
 ]

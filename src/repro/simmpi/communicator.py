@@ -100,7 +100,9 @@ class Communicator:
         return self.job.counters
 
     def _mailbox(self, comm_rank: int) -> Mailbox:
-        return self.job.mailboxes[self.job_ranks[comm_rank]]
+        # receive-side only: backends may restrict this to the calling
+        # rank's own mailbox (the procs backend has no in-process peers)
+        return self.job.transport.mailbox(self.job_ranks[comm_rank])
 
     def _check_rank(self, r: int, what: str) -> None:
         if not (0 <= r < self.size):
@@ -118,14 +120,17 @@ class Communicator:
         :mod:`repro.simmpi.payload` for the ownership contract.
         """
         self._check_rank(dest, "destination")
-        data, nbytes, release, live = payload.wire_parts(obj)
+        transport = self.job.transport
+        data, nbytes, release, live = payload.wire_parts(
+            obj, isolate=transport.isolating)
         # Collective-internal protocol traffic is counted separately so
         # benchmarks can report application data movement alone.
         kind = "internal_msgs" if tag >= INTERNAL_TAG_BASE else "msgs"
         self.job.counters.add(kind)
         self.job.counters.add("bytes", nbytes)
         self.job.counters.add(f"rank{self.job_ranks[dest]}.rx_bytes", nbytes)
-        self._mailbox(dest).deliver(
+        transport.deliver(
+            self.job_ranks[dest],
             Envelope(self.context, self._rank, tag, data, nbytes,
                      release=release),
             live=live)

@@ -20,11 +20,13 @@ from typing import Any, Optional, TYPE_CHECKING
 
 from repro.errors import CommunicatorError
 from repro.simmpi import payload
+from repro.simmpi import transport as _transport
 from repro.simmpi.communicator import Communicator, allocate_context
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
 from repro.simmpi.matching import Envelope, Mailbox
 from repro.simmpi.request import Request
 from repro.simmpi.status import Status
+from repro.simmpi.transport import JobRemoteGroup, RemoteGroup
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simmpi.runner import Job
@@ -63,6 +65,11 @@ class NameService:
                *, timeout: float = 30.0) -> "Intercommunicator":
         """Collective over ``comm``: publish ``name`` and wait for a
         connector.  Returns the intercommunicator on every rank."""
+        runtime = _transport.current_runtime()
+        if runtime is not None:
+            # procs backend: shared in-process conditions cannot cross
+            # ranks — rendezvous through the supervisor's broker thread
+            return runtime.rendezvous("accept", name, comm, timeout)
         cond = self._cond(name)
         if comm.rank == 0:
             here = _Endpoint(comm.job, comm.job_ranks, allocate_context())
@@ -93,6 +100,9 @@ class NameService:
     def connect(self, name: str, comm: Communicator,
                 *, timeout: float = 30.0) -> "Intercommunicator":
         """Collective over ``comm``: join the acceptor waiting on ``name``."""
+        runtime = _transport.current_runtime()
+        if runtime is not None:
+            return runtime.rendezvous("connect", name, comm, timeout)
         cond = self._cond(name)
         if comm.rank == 0:
             with cond:
@@ -137,13 +147,16 @@ class Intercommunicator:
     """
 
     def __init__(self, local_comm: Communicator, recv_context: int,
-                 send_context: int, remote_job: "Job",
-                 remote_job_ranks: tuple[int, ...]):
+                 send_context: int, remote: Any,
+                 remote_job_ranks: tuple[int, ...] = ()):
         self.local_comm = local_comm
         self._recv_context = recv_context
         self._send_context = send_context
-        self._remote_job = remote_job
-        self._remote_job_ranks = tuple(remote_job_ranks)
+        if isinstance(remote, RemoteGroup):
+            self._remote = remote
+        else:
+            # historical signature: (remote_job, remote_job_ranks)
+            self._remote = JobRemoteGroup(remote, tuple(remote_job_ranks))
 
     # -- identity ---------------------------------------------------------
 
@@ -158,11 +171,11 @@ class Intercommunicator:
 
     @property
     def remote_size(self) -> int:
-        return len(self._remote_job_ranks)
+        return self._remote.size
 
     def _my_mailbox(self) -> Mailbox:
         job_rank = self.local_comm.job_ranks[self.local_comm.rank]
-        return self.local_comm.job.mailboxes[job_rank]
+        return self.local_comm.job.transport.mailbox(job_rank)
 
     # -- point-to-point -----------------------------------------------------
 
@@ -171,11 +184,12 @@ class Intercommunicator:
             raise CommunicatorError(
                 f"remote rank {dest} out of range (remote size "
                 f"{self.remote_size})")
-        data, nbytes, release, live = payload.wire_parts(obj)
+        data, nbytes, release, live = payload.wire_parts(
+            obj, isolate=self.local_comm.job.transport.isolating)
         self.local_comm.job.counters.add("inter_msgs")
         self.local_comm.job.counters.add("inter_bytes", nbytes)
-        mailbox = self._remote_job.mailboxes[self._remote_job_ranks[dest]]
-        mailbox.deliver(
+        self._remote.deliver(
+            dest,
             Envelope(self._send_context, self.local_comm.rank, tag,
                      data, nbytes, release=release),
             live=live)

@@ -77,6 +77,22 @@ class Raw:
         self.value = value
 
 
+class PickledWire:
+    """Internal wire marker: an object already serialized for transport.
+
+    Produced by :func:`wire_parts` on non-isolating backends (procs),
+    where pickling *is* the isolation step and the bytes go straight
+    into a shared slot — deserializing in the sender process just to
+    re-serialize in the queue would double the work.  Local deliveries
+    rehydrate with one ``pickle.loads``.
+    """
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+
+
 class OwnedBuffer:
     """Move-semantics marker: the runtime takes ownership of ``value``.
 
@@ -178,8 +194,9 @@ def pack(obj: Any) -> tuple[Any, int]:
     return pickle.loads(blob), len(blob)
 
 
-def wire_parts(obj: Any) -> tuple[Any, int, Optional[Callable[[], None]],
-                                  Optional[np.ndarray]]:
+def wire_parts(obj: Any, *, isolate: bool = True
+               ) -> tuple[Any, int, Optional[Callable[[], None]],
+                          Optional[np.ndarray]]:
     """Decompose ``obj`` for the mailbox transport.
 
     Returns ``(data, nbytes, release, live)``:
@@ -191,11 +208,30 @@ def wire_parts(obj: Any) -> tuple[Any, int, Optional[Callable[[], None]],
       view; the mailbox must consume ``live`` synchronously (direct
       write into a preposted destination, else snapshot) before the
       send returns.
+
+    ``isolate=False`` is for backends whose delivery step is itself an
+    isolating copy (``Transport.isolating == False``, i.e. the procs
+    backend writing bytes into a shared slot): plain arrays are handed
+    over as lent ``live`` views with no defensive copy, and generic
+    objects are pickled exactly once into a :class:`PickledWire`.
     """
     if isinstance(obj, Borrowed):
         return None, obj.value.nbytes, None, obj.value
     if isinstance(obj, OwnedBuffer):
         data, nbytes = pack(obj)
         return data, nbytes, obj.release, None
+    if not isolate:
+        if isinstance(obj, np.ndarray):
+            # the transport's slot write is the isolation copy
+            return None, obj.nbytes, None, np.asarray(obj)
+        if isinstance(obj, Raw):
+            return obj, 0, None, None
+        if isinstance(obj, (bytes, bytearray)):
+            return bytes(obj), len(obj), None, None
+        if obj is None or isinstance(obj, (bool, int, float, complex, str)):
+            nbytes = 8 if not isinstance(obj, str) else len(obj.encode())
+            return obj, nbytes, None, None
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return PickledWire(blob), len(blob), None, None
     data, nbytes = pack(obj)
     return data, nbytes, None, None

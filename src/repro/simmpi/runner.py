@@ -1,16 +1,27 @@
-"""SPMD job launch: ranks as threads, with a deadlock watchdog.
+"""SPMD job launch with a deadlock watchdog and pluggable backends.
 
 :func:`run_spmd` is the ``mpiexec`` analogue: it runs ``fn(comm, *args)``
 on ``n`` ranks and returns the per-rank return values.  Exceptions on any
 rank abort the job and are re-raised as :class:`~repro.errors.SpmdError`
 with the full per-rank failure map.
 
+Ranks execute on one of two backends (``backend=`` argument or the
+``REPRO_BACKEND`` environment variable, see
+:mod:`repro.simmpi.transport`): ``"threads"`` — daemon threads of this
+process, the historical fully deterministic default — or ``"procs"`` —
+one forked process per rank with payloads in shared-memory slot rings
+(:mod:`repro.simmpi.procs`), which is what lets redistribution
+throughput scale with cores.
+
 The watchdog implements the guarantee DESIGN.md promises: a test that
 deadlocks raises :class:`~repro.errors.DeadlockError` with a dump of what
 every blocked rank was waiting for, instead of hanging the suite.  The
 heuristic is exact for this runtime: sends never block, so the job is
 deadlocked precisely when every unfinished rank is blocked in a receive
-and no message has been delivered since.
+and no message has been delivered since.  Supervision is event-driven:
+the watchdog thread sleeps on a condition that rank-side progress,
+block-state and finish transitions notify, so idle supervision costs no
+CPU (the old fixed 20 ms busy-poll is gone).
 """
 
 from __future__ import annotations
@@ -19,16 +30,18 @@ import threading
 import time
 from typing import Any, Callable, Optional, Sequence
 
-from repro.errors import DeadlockError, SpmdError
+from repro.errors import SpmdError
 from repro.simmpi.communicator import Communicator, allocate_context
-from repro.simmpi.matching import AbortFlag, Mailbox
+from repro.simmpi.matching import AbortFlag
+from repro.simmpi.transport import ThreadTransport, resolve_backend
 from repro.util.counters import Counters
 
 
 class Job:
     """Shared state of one running SPMD job."""
 
-    def __init__(self, n: int, *, name: str = "job"):
+    def __init__(self, n: int, *, name: str = "job",
+                 transport_factory: Optional[Callable[..., Any]] = None):
         if n < 1:
             raise ValueError(f"job needs at least 1 rank, got {n}")
         self.name = name
@@ -40,17 +53,30 @@ class Job:
         self._blocked: dict[int, Optional[str]] = {}
         self._finished: set[int] = set()
         self._state_lock = threading.Lock()
-        self.mailboxes = [
-            Mailbox(r, self.abort, progress=self._bump,
-                    block_state=self._set_block_state)
-            for r in range(n)
-        ]
+        #: Condition the watchdog sleeps on; notified by every progress,
+        #: block-state or finish transition (event-driven supervision).
+        self.watch = threading.Condition()
+        factory = transport_factory or (
+            lambda n, abort, progress, block_state: ThreadTransport(
+                n, abort, progress=progress, block_state=block_state))
+        self.transport = factory(n, self.abort, self._bump,
+                                 self._set_block_state)
+
+    @property
+    def mailboxes(self):
+        """The threads backend's per-rank mailboxes (compat accessor)."""
+        return self.transport.mailboxes
 
     # -- watchdog inputs ------------------------------------------------
+
+    def _notify_watch(self) -> None:
+        with self.watch:
+            self.watch.notify_all()
 
     def _bump(self) -> None:
         with self._progress_lock:
             self._progress += 1
+        self._notify_watch()
 
     def progress(self) -> int:
         with self._progress_lock:
@@ -62,10 +88,16 @@ class Job:
                 self._blocked.pop(rank, None)
             else:
                 self._blocked[rank] = desc
+        self._notify_watch()
 
     def mark_finished(self, rank: int) -> None:
         with self._state_lock:
             self._finished.add(rank)
+        self._notify_watch()
+
+    def all_finished(self) -> bool:
+        with self._state_lock:
+            return len(self._finished) == self.n
 
     def stalled(self) -> Optional[dict[int, str]]:
         """If no unfinished rank is runnable, return the block dump.
@@ -84,8 +116,55 @@ class Job:
         return Communicator(self, context, rank, tuple(range(self.n)))
 
 
+def _watch_jobs(jobs: Sequence[Job], deadlock_timeout: float,
+                *, qualify: bool) -> None:
+    """Shared event-driven watchdog: wake on progress/block/finish
+    notifications, abort every job once all unfinished ranks of every
+    job have been blocked with no delivery for ``deadlock_timeout``.
+
+    ``qualify`` selects the blocked-dump key style: plain ranks for a
+    single job, ``"{job} rank {r}"`` strings for coupled launches.
+    """
+    # Multi-job callers must share one condition across jobs *before*
+    # starting rank threads (see run_coupled) so one wait sees them all.
+    cond = jobs[0].watch
+    assert all(j.watch is cond for j in jobs)
+    stall_since: Optional[float] = None
+    stall_progress = -1
+    with cond:
+        # State is evaluated while holding the condition the rank-side
+        # hooks notify through, so a transition can never slip between
+        # the check and the wait (no lost wakeups, no busy-poll).
+        while not all(j.all_finished() for j in jobs):
+            progress = sum(j.progress() for j in jobs)
+            dumps = [j.stalled() for j in jobs]
+            if all(d is not None for d in dumps) and any(dumps):
+                if stall_since is None or progress != stall_progress:
+                    stall_since = time.monotonic()
+                    stall_progress = progress
+                elif time.monotonic() - stall_since > deadlock_timeout:
+                    merged: dict[Any, str] = {}
+                    for j, d in zip(jobs, dumps):
+                        assert d is not None
+                        for r, desc in d.items():
+                            key = f"{j.name} rank {r}" if qualify else r
+                            merged[key] = desc
+                    for j in jobs:
+                        j.abort.set("deadlock detected by watchdog", merged)
+                    stall_since = None
+                # sleep only until the stall deadline; any delivery or
+                # state change notifies and re-evaluates immediately
+                wait = (max(0.0, stall_since + deadlock_timeout
+                            - time.monotonic()) + 0.005
+                        if stall_since is not None else None)
+            else:
+                stall_since = None
+                wait = None
+            cond.wait(timeout=wait)
+
+
 class SpmdRunner:
-    """Launches and supervises one SPMD job.
+    """Launches and supervises one SPMD job (threads backend).
 
     Parameters
     ----------
@@ -132,33 +211,8 @@ class SpmdRunner:
         ]
         for t in self._threads:
             t.start()
-        self._supervise([self.job])
+        _watch_jobs([self.job], self.deadlock_timeout, qualify=False)
         return self._finish()
-
-    # -- supervision ------------------------------------------------------
-
-    def _supervise(self, jobs: Sequence[Job]) -> None:
-        """Watchdog loop shared by single and coupled runs."""
-        stall_since: Optional[float] = None
-        stall_progress = -1
-        while any(t.is_alive() for t in self._threads):
-            time.sleep(0.02)
-            progress = sum(j.progress() for j in jobs)
-            dumps = [j.stalled() for j in jobs]
-            if all(d is not None for d in dumps) and any(dumps):
-                if stall_since is None or progress != stall_progress:
-                    stall_since = time.monotonic()
-                    stall_progress = progress
-                elif time.monotonic() - stall_since > self.deadlock_timeout:
-                    merged: dict[int, str] = {}
-                    for j, d in zip(jobs, dumps):
-                        assert d is not None
-                        for r, desc in d.items():
-                            merged[len(merged)] = f"{j.name} rank {r}: {desc}"
-                    for j in jobs:
-                        j.abort.set("deadlock detected by watchdog", merged)
-            else:
-                stall_since = None
 
     def _finish(self) -> list[Any]:
         for t in self._threads:
@@ -169,15 +223,31 @@ class SpmdRunner:
 
 
 def run_spmd(n: int, fn: Callable[..., Any], *args: Any,
-             deadlock_timeout: float = 5.0, **kwargs: Any) -> list[Any]:
-    """Convenience wrapper: launch ``fn`` on ``n`` ranks and collect results."""
+             deadlock_timeout: float = 5.0, backend: Optional[str] = None,
+             transport_opts: Optional[dict] = None,
+             **kwargs: Any) -> list[Any]:
+    """Convenience wrapper: launch ``fn`` on ``n`` ranks and collect results.
+
+    ``backend="procs"`` forks one process per rank and moves payloads
+    through shared-memory slot rings; ``transport_opts`` tunes the ring
+    (``slot_bytes``, ``slots_per_endpoint``).  Default: ``"threads"``
+    (or the ``REPRO_BACKEND`` environment variable).
+    """
+    backend = resolve_backend(backend)
+    if backend == "procs":
+        from repro.simmpi.procs import run_spmd_procs
+        return run_spmd_procs(n, fn, args, kwargs,
+                              deadlock_timeout=deadlock_timeout,
+                              opts=transport_opts)
     return SpmdRunner(n, deadlock_timeout=deadlock_timeout).run(
         fn, *args, **kwargs)
 
 
 def run_coupled(jobs: Sequence[tuple[str, int, Callable[..., Any], tuple]],
-                *, deadlock_timeout: float = 10.0) -> dict[str, list[Any]]:
-    """Launch several SPMD jobs concurrently in one process.
+                *, deadlock_timeout: float = 10.0,
+                backend: Optional[str] = None,
+                transport_opts: Optional[dict] = None) -> dict[str, list[Any]]:
+    """Launch several SPMD jobs concurrently.
 
     This models the paper's distributed scenario: independently started
     parallel programs (each with its own world communicator) that couple
@@ -188,15 +258,35 @@ def run_coupled(jobs: Sequence[tuple[str, int, Callable[..., Any], tuple]],
     jobs:
         Sequence of ``(name, nranks, fn, args)``; each rank runs
         ``fn(comm, *args)``.
+    backend:
+        ``"threads"`` (default) or ``"procs"``; on procs every rank of
+        every job forks into one shared domain, so cross-job coupling
+        and the deadlock watchdog span all of them.
 
     Returns
     -------
     dict mapping job name to its per-rank return values.
+
+    Raises
+    ------
+    SpmdError
+        keyed by ``"{job} rank {r}"`` strings identifying each failed
+        rank across all jobs.
     """
+    backend = resolve_backend(backend)
+    if backend == "procs":
+        from repro.simmpi.procs import run_coupled_procs
+        return run_coupled_procs(jobs, deadlock_timeout=deadlock_timeout,
+                                 opts=transport_opts)
     runners = {
         name: SpmdRunner(n, name=name, deadlock_timeout=deadlock_timeout)
         for name, n, _, _ in jobs
     }
+    # Coupled jobs share one watch condition so the single watchdog's
+    # event wait sees every job's progress/finish notifications.
+    shared_watch = threading.Condition()
+    for runner in runners.values():
+        runner.job.watch = shared_watch
     all_threads: list[threading.Thread] = []
     for name, n, fn, args in jobs:
         runner = runners[name]
@@ -212,20 +302,19 @@ def run_coupled(jobs: Sequence[tuple[str, int, Callable[..., Any], tuple]],
 
     # One shared watchdog across all jobs: coupled programs can deadlock
     # on each other, which per-job watchdogs would miss.
-    sentinel = next(iter(runners.values()))
-    sentinel._threads = all_threads
-    sentinel._supervise([r.job for r in runners.values()])
+    _watch_jobs([r.job for r in runners.values()], deadlock_timeout,
+                qualify=True)
+    for t in all_threads:
+        t.join()
 
-    failures: dict[int, BaseException] = {}
+    failures: dict[str, BaseException] = {}
     results: dict[str, list[Any]] = {}
-    offset = 0
     for name, n, _, _ in jobs:
         runner = runners[name]
         for r in range(n):
             if r in runner._failures:
-                failures[offset + r] = runner._failures[r]
+                failures[f"{name} rank {r}"] = runner._failures[r]
         results[name] = [runner._results.get(r) for r in range(n)]
-        offset += n
     if failures:
         raise SpmdError(failures)
     return results

@@ -1,0 +1,298 @@
+"""Shared-memory primitives of the procs backend.
+
+Two fixed-layout ``multiprocessing.shared_memory`` segments per domain
+(a domain = all ranks of a ``run_spmd`` job, or all ranks of every job
+of a ``run_coupled`` launch):
+
+* :class:`SegmentPool` — the payload plane.  One segment holds
+  ``endpoints * slots_per_endpoint`` fixed-size slots plus a one-byte
+  ownership flag per slot.  Slots are **statically partitioned by
+  sending endpoint**, so slot allocation is a lock-free local scan of
+  the sender's own ring: the sender flips a slot's flag ``FREE -> BUSY``
+  before writing payload bytes into it, the receiver flips it back
+  after consuming.  The control message announcing the slot travels
+  through an OS pipe (:class:`multiprocessing.queues.Queue`), which
+  orders the flag/payload writes before the receiver's reads.  A full
+  ring degrades gracefully: the payload is shipped inline through the
+  control queue instead (counted — steady-state benchmarks assert the
+  fallback never fires).  The accounting mirrors
+  :class:`repro.schedule.bufpool.BufferPool`: ``loans`` / ``reuses``
+  (slot grants) vs ``allocations`` (inline fallbacks — the only path
+  that allocates per message).
+
+* :class:`SharedState` — the watchdog plane.  A per-endpoint progress
+  counter, run-state byte (running / blocked / finished) and a short
+  blocked-on description, plus a domain-wide abort flag and reason.
+  Each per-endpoint field has exactly one writer (the owning rank
+  process); the abort record is written by the supervisor only.  The
+  supervisor applies the same stall rule as the threads watchdog: the
+  domain is deadlocked when every unfinished endpoint is blocked and
+  the progress sum has not moved for the timeout.
+
+Wire format of one control message (pickled by the queue):
+``(MSG, context, source, tag, nbytes, kind, meta, slot, inline)`` where
+``kind`` is ``ND`` (array: meta = (dtype-str, shape)), ``BYTES``,
+``PICKLE`` or ``OBJ`` (small immutable scalars shipped inline), and
+``slot`` is the segment slot index or ``-1`` for inline payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.util.counters import Counters
+
+__all__ = ["SegmentPool", "SharedState", "encode_payload", "decode_payload"]
+
+# control-message verbs
+MSG = "MSG"
+ABORT = "ABORT"
+RDV_REPLY = "RDV_REPLY"
+STOP = "STOP"
+
+# payload kinds
+ND = "nd"
+BYTES = "by"
+PICKLE = "pk"
+OBJ = "ob"
+
+#: Payloads at most this many bytes ride inline in the control message
+#: even when a slot is free — a pipe write beats a slot round-trip for
+#: tiny protocol traffic (barrier tokens, handshakes, scalar reduces).
+INLINE_MAX = 2048
+
+_FREE = 0
+_BUSY = 1
+
+
+class SegmentPool:
+    """Fixed-size payload slots in one shared segment, partitioned by
+    sending endpoint.
+
+    Created once in the supervisor process (which owns the segment's
+    lifetime and unlinks it at teardown); rank processes inherit the
+    handle across ``fork`` and build their NumPy views lazily.
+    """
+
+    def __init__(self, endpoints: int, *, slot_bytes: int = 1 << 18,
+                 slots_per_endpoint: int = 8):
+        if slot_bytes <= 0 or slots_per_endpoint <= 0:
+            raise ValueError("slot_bytes and slots_per_endpoint must be > 0")
+        self.endpoints = endpoints
+        # round slots up to 64 bytes so every slot start is aligned for
+        # any dtype view the receiver reinterprets it as
+        self.slot_bytes = (int(slot_bytes) + 63) & ~63
+        self.slots_per_endpoint = int(slots_per_endpoint)
+        self.nslots = endpoints * self.slots_per_endpoint
+        # flags live at the front, 64-byte aligned payload area after
+        self._data_off = (self.nslots + 63) & ~63
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self._data_off + self.nslots * self.slot_bytes)
+        self._flags = np.ndarray(self.nslots, dtype=np.uint8,
+                                 buffer=self._shm.buf)
+        self._flags[:] = _FREE
+        #: per-process slot accounting (bufpool-style names)
+        self.stats = Counters()
+
+    # -- sender side -------------------------------------------------------
+
+    def acquire(self, endpoint: int) -> Optional[int]:
+        """A free slot owned by ``endpoint``, flagged BUSY — or ``None``
+        when the endpoint's whole ring is still in flight."""
+        lo = endpoint * self.slots_per_endpoint
+        self.stats.add("loans")
+        for s in range(lo, lo + self.slots_per_endpoint):
+            if self._flags[s] == _FREE:
+                self._flags[s] = _BUSY
+                self.stats.add("reuses")
+                return s
+        self.stats.add("ring_full")
+        return None
+
+    def release(self, slot: int) -> None:
+        """Receiver side: mark ``slot`` consumed (reusable by its owner)."""
+        self._flags[slot] = _FREE
+        self.stats.add("releases")
+
+    def slot_view(self, slot: int, nbytes: int) -> np.ndarray:
+        """A uint8 view of the first ``nbytes`` of ``slot``'s payload."""
+        off = self._data_off + slot * self.slot_bytes
+        return np.ndarray(nbytes, dtype=np.uint8,
+                          buffer=self._shm.buf, offset=off)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._flags = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray views in teardown
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double teardown
+            pass
+
+
+# -- watchdog state ----------------------------------------------------------
+
+STATE_RUNNING = 0
+STATE_BLOCKED = 1
+STATE_FINISHED = 2
+
+_DESC_BYTES = 120
+_REASON_BYTES = 480
+
+
+class SharedState:
+    """Cross-process watchdog struct: per-endpoint progress counters and
+    blocked-state table, plus the domain abort record.
+
+    Layout per endpoint: ``progress u64 | state u8 | desc char[120]``.
+    Domain header: ``abort u8 | reason char[480]``.
+    """
+
+    def __init__(self, endpoints: int):
+        self.endpoints = endpoints
+        size = (8 * endpoints) + endpoints + (_DESC_BYTES * endpoints) \
+            + 1 + _REASON_BYTES
+        size = (size + 63) & ~63
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        buf = self._shm.buf
+        off = 0
+        self.progress = np.ndarray(endpoints, dtype=np.uint64,
+                                   buffer=buf, offset=off)
+        off += 8 * endpoints
+        self.state = np.ndarray(endpoints, dtype=np.uint8,
+                                buffer=buf, offset=off)
+        off += endpoints
+        self._descs = np.ndarray((endpoints, _DESC_BYTES), dtype=np.uint8,
+                                 buffer=buf, offset=off)
+        off += _DESC_BYTES * endpoints
+        self._abort = np.ndarray(1, dtype=np.uint8, buffer=buf, offset=off)
+        off += 1
+        self._reason = np.ndarray(_REASON_BYTES, dtype=np.uint8,
+                                  buffer=buf, offset=off)
+        self.progress[:] = 0
+        self.state[:] = STATE_RUNNING
+        self._descs[:] = 0
+        self._abort[0] = 0
+        self._reason[:] = 0
+
+    # -- rank side (single writer per endpoint) ----------------------------
+
+    def bump(self, endpoint: int) -> None:
+        self.progress[endpoint] += np.uint64(1)
+
+    def set_blocked(self, endpoint: int, desc: Optional[str]) -> None:
+        if self.state[endpoint] == STATE_FINISHED:
+            return
+        if desc is None:
+            self.state[endpoint] = STATE_RUNNING
+            return
+        raw = desc.encode("utf-8", "replace")[:_DESC_BYTES]
+        self._descs[endpoint, :len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+        self._descs[endpoint, len(raw):] = 0
+        self.state[endpoint] = STATE_BLOCKED
+
+    def set_finished(self, endpoint: int) -> None:
+        self.state[endpoint] = STATE_FINISHED
+
+    # -- supervisor side ---------------------------------------------------
+
+    def desc(self, endpoint: int) -> str:
+        raw = bytes(self._descs[endpoint])
+        return raw.split(b"\0", 1)[0].decode("utf-8", "replace") or "?"
+
+    def total_progress(self) -> int:
+        return int(self.progress.sum())
+
+    def stalled(self) -> Optional[dict[int, str]]:
+        """Blocked dump if no unfinished endpoint is runnable (mirrors
+        :meth:`repro.simmpi.runner.Job.stalled`)."""
+        state = self.state.copy()
+        unfinished = np.flatnonzero(state != STATE_FINISHED)
+        if np.all(state[unfinished] == STATE_BLOCKED):
+            return {int(e): self.desc(int(e)) for e in unfinished}
+        return None
+
+    def set_abort(self, reason: str) -> None:
+        raw = reason.encode("utf-8", "replace")[:_REASON_BYTES]
+        self._reason[:len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+        self._reason[len(raw):] = 0
+        self._abort[0] = 1
+
+    def aborted(self) -> bool:
+        return bool(self._abort[0])
+
+    def abort_reason(self) -> str:
+        raw = bytes(self._reason)
+        return raw.split(b"\0", 1)[0].decode("utf-8", "replace")
+
+    def close(self) -> None:
+        self.progress = self.state = self._descs = None
+        self._abort = self._reason = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+
+# -- payload encode/decode ---------------------------------------------------
+
+
+def encode_payload(obj: Any) -> tuple[str, Any, Optional[np.ndarray], Any]:
+    """Classify one wire payload for the procs transport.
+
+    Returns ``(kind, meta, buf, inline)``: ``buf`` is a flat uint8 view
+    of the bytes to place in a slot (or ship inline when small / no slot
+    is free), ``inline`` the ready-to-pickle object for slot-less kinds.
+    """
+    if isinstance(obj, np.ndarray):
+        arr = obj
+        return ND, (arr.dtype.str, arr.shape), arr, None
+    if isinstance(obj, (bytes, bytearray)):
+        raw = np.frombuffer(bytes(obj), dtype=np.uint8)
+        return BYTES, None, raw, None
+    if obj is None or isinstance(obj, (bool, int, float, complex, str)):
+        return OBJ, None, None, obj
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return PICKLE, None, np.frombuffer(blob, dtype=np.uint8), None
+
+
+def decode_payload(kind: str, meta: Any, raw: np.ndarray | bytes | None,
+                   inline: Any) -> Any:
+    """Rebuild the receiver-side payload.
+
+    For ``ND`` the result is a (possibly read-only) view over ``raw`` —
+    the mailbox consumes it synchronously as a lent view, so scattering
+    straight out of a shared slot needs no staging copy.
+    """
+    if kind == OBJ:
+        return inline
+    if raw is None:
+        raise ValueError(f"kind {kind!r} needs payload bytes")
+    if kind == ND:
+        dtype_str, shape = meta
+        buf = raw if isinstance(raw, np.ndarray) else \
+            np.frombuffer(raw, dtype=np.uint8)
+        return buf.view(np.dtype(dtype_str)).reshape(shape)
+    if kind == BYTES:
+        return bytes(raw if not isinstance(raw, np.ndarray)
+                     else raw.tobytes())
+    if kind == PICKLE:
+        blob = raw.tobytes() if isinstance(raw, np.ndarray) else bytes(raw)
+        return pickle.loads(blob)
+    raise ValueError(f"unknown payload kind {kind!r}")

@@ -1,0 +1,174 @@
+"""Pluggable execution backends: how a job's ranks exchange bytes.
+
+The runtime supports two backends, selected per job at launch time
+(``run_spmd(..., backend=...)`` / ``run_coupled(..., backend=...)`` or
+the ``REPRO_BACKEND`` environment variable):
+
+* ``"threads"`` — the historical backend: every rank is a thread of one
+  process and a send is an in-process object handoff into the
+  destination rank's :class:`~repro.simmpi.matching.Mailbox`.  Cheap to
+  launch and fully deterministic, but packing, protocol work and
+  scatters all serialize on the GIL.
+* ``"procs"`` — every rank is a real ``multiprocessing`` process and
+  message payloads travel through ``multiprocessing.shared_memory``
+  slot rings (:mod:`repro.simmpi.shm` / :mod:`repro.simmpi.procs`), so
+  the copy phases of a redistribution run truly concurrently.
+
+Both backends implement the small :class:`Transport` contract this
+module defines.  Everything above it — communicators, collectives,
+intercommunicators, the persistent engines, :mod:`repro.highlevel` —
+is backend-agnostic: it delivers through ``job.transport`` and never
+touches mailboxes of other ranks directly.
+
+The matching semantics (per-``(context, source, tag)`` FIFO, preposted
+recv-into-destination slots, event-driven abort) live in
+:class:`~repro.simmpi.matching.Mailbox` and are shared by both
+backends: the procs backend runs one local mailbox per rank process
+and a pump thread that replays remote deliveries into it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional, Sequence
+
+from repro.simmpi.matching import AbortFlag, Envelope, Mailbox
+
+__all__ = [
+    "Transport",
+    "ThreadTransport",
+    "resolve_backend",
+    "current_runtime",
+    "set_current_runtime",
+]
+
+#: Backends accepted by :func:`resolve_backend`.
+BACKENDS = ("threads", "procs")
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalize a backend selection (explicit arg > env var > threads)."""
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "threads"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+class Transport:
+    """Backend contract: deliver to any rank, receive on the local one.
+
+    ``isolating`` tells :meth:`repro.simmpi.payload.wire_parts` whether
+    plain array payloads need a defensive copy at send time.  The
+    threads backend does (the handed-off object *is* the wire); the
+    procs backend does not — writing the bytes into a shared slot is
+    itself the isolating copy, so the defensive copy would be pure
+    waste.
+    """
+
+    backend = "?"
+    #: Whether plain payloads must be isolated before :meth:`deliver`.
+    isolating = True
+
+    def mailbox(self, job_rank: int) -> Mailbox:
+        """The local mailbox of ``job_rank`` (receive side).
+
+        Backends may only support the calling rank's own mailbox (the
+        procs backend has no in-process view of its peers).
+        """
+        raise NotImplementedError
+
+    def deliver(self, job_rank: int, env: Envelope, live=None) -> None:
+        """Send ``env`` (with optional lent view ``live``) to a rank of
+        this job.  Must consume ``live`` synchronously — no alias to the
+        sender's storage may survive the call."""
+        raise NotImplementedError
+
+
+class ThreadTransport(Transport):
+    """The threads backend: one in-process mailbox per rank."""
+
+    backend = "threads"
+    isolating = True
+
+    def __init__(self, n: int, abort: AbortFlag,
+                 progress: Optional[Callable[[], None]] = None,
+                 block_state: Optional[Callable[[int, str | None], None]] = None):
+        self.mailboxes = [
+            Mailbox(r, abort, progress=progress, block_state=block_state)
+            for r in range(n)
+        ]
+
+    def mailbox(self, job_rank: int) -> Mailbox:
+        return self.mailboxes[job_rank]
+
+    def deliver(self, job_rank: int, env: Envelope, live=None) -> None:
+        self.mailboxes[job_rank].deliver(env, live=live)
+
+
+# -- procs-backend rank runtime registry -------------------------------------
+#
+# When a process is a rank of a procs-backend domain, the module-global
+# runtime handle lets backend-aware code (NameService rendezvous, the
+# benchmarks' stats collection) discover the domain without threading it
+# through every call signature.  ``None`` everywhere else — including in
+# the parent/supervisor process and in all threads-backend runs.
+
+_current_runtime: Any = None
+
+
+def current_runtime():
+    """The :class:`repro.simmpi.procs.ProcRuntime` of this process, or
+    ``None`` when this process is not a procs-backend rank."""
+    return _current_runtime
+
+
+def set_current_runtime(runtime) -> None:
+    global _current_runtime
+    _current_runtime = runtime
+
+
+class RemoteGroup:
+    """Delivery handle for the ranks of a *remote* job (intercomm target).
+
+    The threads backend wraps the remote job object directly; the procs
+    backend addresses global endpoint ids through the domain transport.
+    """
+
+    def deliver(self, idx: int, env: Envelope, live=None) -> None:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+
+class JobRemoteGroup(RemoteGroup):
+    """Threads-backend remote group: direct mailbox delivery."""
+
+    def __init__(self, job, job_ranks: Sequence[int]):
+        self.job = job
+        self.job_ranks = tuple(job_ranks)
+
+    def deliver(self, idx: int, env: Envelope, live=None) -> None:
+        self.job.transport.deliver(self.job_ranks[idx], env, live=live)
+
+    @property
+    def size(self) -> int:
+        return len(self.job_ranks)
+
+
+class EndpointRemoteGroup(RemoteGroup):
+    """Procs-backend remote group: global domain endpoints."""
+
+    def __init__(self, transport, endpoints: Sequence[int]):
+        self._transport = transport
+        self.endpoints = tuple(endpoints)
+
+    def deliver(self, idx: int, env: Envelope, live=None) -> None:
+        self._transport.deliver_endpoint(self.endpoints[idx], env, live=live)
+
+    @property
+    def size(self) -> int:
+        return len(self.endpoints)

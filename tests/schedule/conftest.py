@@ -1,0 +1,18 @@
+"""Shared fixtures for the schedule test package."""
+
+import pytest
+
+from repro.schedule.indexplan import PLAN_STATS
+from repro.util.counters import TRANSPORT_STATS
+
+
+@pytest.fixture(autouse=True)
+def transport_stats():
+    """Reset the process-wide transport and plan-compilation counters
+    around every test so absolute-value assertions cannot bleed between
+    tests under xdist or reordering.  Yields the transport counters."""
+    TRANSPORT_STATS.reset()
+    PLAN_STATS.reset()
+    yield TRANSPORT_STATS
+    TRANSPORT_STATS.reset()
+    PLAN_STATS.reset()

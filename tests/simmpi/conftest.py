@@ -1,0 +1,15 @@
+"""Shared fixtures for the simmpi test package."""
+
+import pytest
+
+from repro.util.counters import TRANSPORT_STATS
+
+
+@pytest.fixture(autouse=True)
+def transport_stats():
+    """Reset the process-wide transport counters around every test so
+    absolute-value assertions cannot bleed between tests under xdist or
+    reordering.  Yields the live counters for convenience."""
+    TRANSPORT_STATS.reset()
+    yield TRANSPORT_STATS
+    TRANSPORT_STATS.reset()

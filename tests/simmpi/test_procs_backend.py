@@ -1,0 +1,382 @@
+"""The procs execution backend: ranks as processes, payloads in shared
+memory.
+
+Everything here runs the *same* rank functions the threads backend runs
+— the point of the Transport abstraction is that matching semantics,
+collectives, intercommunicators and the persistent engines are backend
+invariants.  The procs-only mechanics (slot rings, inline fallbacks,
+cross-process watchdog and abort propagation, broker rendezvous) get
+targeted coverage.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.dad import (
+    CartesianTemplate,
+    Cyclic,
+    DistArrayDescriptor,
+    DistributedArray,
+)
+from repro.errors import CommunicatorError, DeadlockError, SpmdError
+from repro.highlevel import Coupler
+from repro.schedule import build_region_schedule
+from repro.simmpi import run_coupled, run_spmd
+from repro.simmpi import payload
+from repro.simmpi.intercomm import default_nameservice
+from repro.simmpi.transport import resolve_backend
+from repro.util.counters import TRANSPORT_STATS
+
+BACKENDS = ["threads", "procs"]
+
+
+def _ring(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    data = np.arange(5000, dtype=np.float64) * (comm.rank + 1)
+    comm.send(data, right, tag=3)
+    got = comm.recv(left, tag=3)
+    return float(got.sum()) + comm.allreduce(comm.rank)
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_ring_exchange_identical_across_backends(backend):
+    assert run_spmd(3, _ring, backend=backend) == run_spmd(3, _ring)
+
+
+def test_procs_ranks_are_real_processes():
+    pids = run_spmd(3, lambda comm: os.getpid(), backend="procs")
+    assert len(set(pids)) == 3
+    assert os.getpid() not in pids
+
+
+def test_backend_env_var_selects_procs(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "procs")
+    assert resolve_backend(None) == "procs"
+    pids = run_spmd(2, lambda comm: os.getpid())
+    assert os.getpid() not in pids
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("fibers")
+
+
+def _collectives(comm):
+    root_val = comm.bcast({"shape": (4, 5)} if comm.rank == 0 else None)
+    gathered = comm.gather(comm.rank * 10)
+    counts = [comm.rank + 1] * comm.size
+    buf = np.full(sum(counts), float(comm.rank))
+    swapped = comm.alltoallv(buf, counts)
+    total = comm.allreduce(float(swapped.sum()))
+    return root_val, gathered, total
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_collectives_identical_across_backends(backend):
+    assert (run_spmd(3, _collectives, backend=backend)
+            == run_spmd(3, _collectives))
+
+
+def _value_semantics(comm):
+    if comm.rank == 0:
+        arr = np.ones(4000)          # > inline threshold: slot path
+        comm.send(arr, 1, tag=1)
+        arr[:] = -1.0                # mutate after send
+        small = np.ones(4)           # <= inline threshold
+        comm.send(small, 1, tag=2)
+        small[:] = -1.0
+        obj = {"k": [1, 2]}
+        comm.send(obj, 1, tag=3)
+        obj["k"].append(3)
+        return None
+    a = comm.recv(0, tag=1)
+    b = comm.recv(0, tag=2)
+    c = comm.recv(0, tag=3)
+    return float(a.sum()), float(b.sum()), c
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_send_isolates_payloads(backend):
+    """Mutating any payload after send must never reach the receiver —
+    on procs the slot/pickle write is the isolating copy, on threads the
+    defensive copy is."""
+    out = run_spmd(2, _value_semantics, backend=backend)
+    assert out[1] == (4000.0, 4.0, {"k": [1, 2]})
+
+
+def _oversize(comm):
+    peer = 1 - comm.rank
+    data = np.arange(4096, dtype=np.float64) + comm.rank  # 32 KB > slot
+    comm.send(data, peer, tag=9)
+    got = comm.recv(peer, tag=9)
+    from repro.simmpi.procs import slot_stats
+    return float(got.sum()), slot_stats()
+
+
+def test_procs_oversize_payload_falls_back_inline():
+    """A payload larger than a slot degrades to the control queue —
+    correct, never wrong, and counted as an allocation."""
+    out = run_spmd(2, _oversize, backend="procs",
+                   transport_opts={"slot_bytes": 4096})
+    base = float(np.arange(4096).sum())
+    assert out[0][0] == base + 4096 and out[1][0] == base
+    for _, stats in out:
+        assert stats["oversize"] >= 1
+        assert stats["allocations"] >= 1
+
+
+def test_segment_pool_ring_exhaustion_and_reuse():
+    from repro.simmpi.shm import SegmentPool
+    pool = SegmentPool(1, slot_bytes=128, slots_per_endpoint=2)
+    try:
+        a = pool.acquire(0)
+        b = pool.acquire(0)
+        assert a is not None and b is not None and a != b
+        assert pool.acquire(0) is None          # ring full -> fallback
+        assert pool.stats.get("ring_full") == 1
+        pool.release(a)
+        assert pool.acquire(0) == a             # slots recycle in place
+        view = pool.slot_view(a, 16)
+        view[:] = 42
+        assert (pool.slot_view(a, 16) == 42).all()
+    finally:
+        pool.close()
+        pool.unlink()
+
+
+def _steady_state(comm):
+    from repro.simmpi.procs import slot_stats
+    peer = 1 - comm.rank
+    data = np.arange(8192, dtype=np.float64)  # 64 KB: slot-ring path
+    for _ in range(2):                         # warm-up
+        comm.send(data, peer, tag=4)
+        comm.recv(peer, tag=4)
+    before = slot_stats()
+    for _ in range(10):
+        comm.send(data, peer, tag=4)
+        comm.recv(peer, tag=4)
+    after = slot_stats()
+    return (after["allocations"] - before.get("allocations", 0),
+            after["reuses"] - before["reuses"])
+
+
+def test_procs_zero_steady_state_slot_allocations():
+    """The PR 3 guarantee, ported: once the ring is warm, a steady
+    send/recv loop draws every payload from recycled slots."""
+    for allocs, reuses in run_spmd(2, _steady_state, backend="procs"):
+        assert allocs == 0
+        assert reuses == 10
+
+
+def _crasher(comm):
+    if comm.rank == 1:
+        raise ValueError("rank 1 exploded")
+    comm.recv(1, tag=99)  # would block forever without abort propagation
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_crash_aborts_blocked_peers(backend):
+    with pytest.raises(SpmdError) as ei:
+        run_spmd(3, _crasher, backend=backend, deadlock_timeout=3.0)
+    failures = ei.value.failures
+    assert isinstance(failures[1], ValueError)
+    assert "exploded" in str(failures[1])
+    for r in (0, 2):  # aborted, not hung
+        assert isinstance(failures[r], DeadlockError)
+
+
+def _mutual_deadlock(comm):
+    comm.recv((comm.rank + 1) % comm.size, tag=1)
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_watchdog_detects_cross_process_deadlock(backend):
+    with pytest.raises(SpmdError) as ei:
+        run_spmd(2, _mutual_deadlock, backend=backend,
+                 deadlock_timeout=1.0)
+    for exc in ei.value.failures.values():
+        assert isinstance(exc, DeadlockError)
+        assert "watchdog" in str(exc)
+
+
+def _raw_sender(comm):
+    comm.send(payload.Raw(object()), 1 - comm.rank, tag=1)
+
+
+def test_procs_rejects_raw_payloads_across_processes():
+    with pytest.raises(SpmdError) as ei:
+        run_spmd(2, _raw_sender, backend="procs", deadlock_timeout=3.0)
+    assert any(isinstance(e, CommunicatorError)
+               and "process-local" in str(e)
+               for e in ei.value.failures.values())
+
+
+# -- run_coupled failure paths (both backends) -------------------------------
+
+
+def _coupled_crasher(comm):
+    raise ValueError("producer died before coupling")
+
+
+def _coupled_blocker(comm):
+    comm.recv(0, tag=5, timeout=30)
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_coupled_crash_aborts_peer_job_and_names_ranks(backend):
+    """One job crashing while its peer blocks in a receive must abort
+    both jobs, and the SpmdError must name failures '{job} rank {r}'
+    with the originating exception surfaced."""
+    with pytest.raises(SpmdError) as ei:
+        run_coupled([("alpha", 1, _coupled_crasher, ()),
+                     ("beta", 1, _coupled_blocker, ())],
+                    deadlock_timeout=3.0, backend=backend)
+    failures = ei.value.failures
+    assert set(failures) == {"alpha rank 0", "beta rank 0"}
+    assert isinstance(failures["alpha rank 0"], ValueError)
+    assert "producer died" in str(failures["alpha rank 0"])
+    assert isinstance(failures["beta rank 0"], DeadlockError)
+    assert "alpha rank 0" in str(ei.value)
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_coupled_cross_job_deadlock_dump_names_jobs(backend):
+    def stuck(comm):
+        comm.recv(0, tag=1)
+
+    with pytest.raises(SpmdError) as ei:
+        run_coupled([("left", 1, stuck, ()), ("right", 1, stuck, ())],
+                    deadlock_timeout=1.0, backend=backend)
+    dumps = [e.blocked for e in ei.value.failures.values()
+             if isinstance(e, DeadlockError)]
+    assert dumps
+    for blocked in dumps:
+        assert set(blocked) == {"left rank 0", "right rank 0"}
+
+
+def test_spmd_error_formats_string_and_int_keys():
+    err = SpmdError({"alpha rank 1": ValueError("x"), 0: KeyError("y")})
+    msg = str(err)
+    assert "alpha rank 1: ValueError" in msg
+    assert "rank 0: KeyError" in msg
+
+
+# -- coupled persistent channels over the procs backend ----------------------
+
+_EXT = 3600
+_SRC_DESC = DistArrayDescriptor(CartesianTemplate([Cyclic(_EXT, 2)]))
+_DST_DESC = DistArrayDescriptor(CartesianTemplate([Cyclic(_EXT, 3)]))
+_GLOBAL = np.arange(float(_EXT))
+
+
+def _producer(comm):
+    coupler = Coupler("procs-chan", default_nameservice)
+    da = DistributedArray.from_global(_SRC_DESC, comm.rank, _GLOBAL)
+    chan = coupler.open(comm, "source", da)
+    for _ in range(3):
+        chan.push()
+    return chan.pool_stats.get("allocations", 0)
+
+
+def _consumer(comm):
+    coupler = Coupler("procs-chan", default_nameservice)
+    chan = coupler.open(comm, "destination", _DST_DESC)
+    for _ in range(3):
+        out = chan.pull()
+    return out
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_persistent_channel_byte_identical_across_backends(backend):
+    """highlevel.Channel selects the backend transparently: rendezvous
+    through the broker, payloads through the slot rings, pooled packs
+    stay allocation-free."""
+    res = run_coupled([("prod", 2, _producer, ()),
+                       ("cons", 3, _consumer, ())],
+                      deadlock_timeout=30.0, backend=backend)
+    np.testing.assert_array_equal(
+        DistributedArray.assemble(res["cons"]), _GLOBAL)
+    assert res["prod"] == [0, 0]               # zero pool allocations
+
+
+def _engine_producer(comm, steps):
+    inter = default_nameservice.accept("procs-direct", comm)
+    da = DistributedArray.from_global(_SRC_DESC, comm.rank, _GLOBAL)
+    tx = build_region_schedule(_SRC_DESC, _DST_DESC).persistent_sender(
+        inter, da, tag=61)
+    for _ in range(steps):
+        for d in range(_DST_DESC.nranks):      # wait until every consumer
+            inter.recv(d, tag=62)              # has preposted its slots
+        tx.step()
+
+
+def _engine_consumer(comm, steps):
+    inter = default_nameservice.connect("procs-direct", comm)
+    da = DistributedArray.allocate(_DST_DESC, comm.rank)
+    rx = build_region_schedule(_SRC_DESC, _DST_DESC).persistent_receiver(
+        inter, da, tag=61)
+    d0 = TRANSPORT_STATS.get("direct_deliveries")
+    for _ in range(steps):
+        rx.arm()
+        for s in range(_SRC_DESC.nranks):
+            inter.send(None, s, tag=62)
+        rx.complete(timeout=30)
+    return da, TRANSPORT_STATS.get("direct_deliveries") - d0
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_prepost_direct_delivery_across_backends(backend):
+    """With arm-before-send ordering made explicit (consumers signal
+    after preposting), every payload must land straight in destination
+    memory — on procs that means scattering directly out of the shared
+    slot, never staging through the mailbox queue."""
+    res = run_coupled([("prod", 2, _engine_producer, (2,)),
+                       ("cons", 3, _engine_consumer, (2,))],
+                      deadlock_timeout=30.0, backend=backend)
+    parts = [p for p, _ in res["cons"]]
+    np.testing.assert_array_equal(
+        DistributedArray.assemble(parts), _GLOBAL)
+    for _, direct in res["cons"]:
+        assert direct > 0                      # preposts actually hit
+
+
+def test_distributed_array_pickle_preserves_consolidation():
+    """The procs backend ships DistributedArrays between processes;
+    pickling must rebuild patch views aliasing one consolidated base."""
+    da = DistributedArray.from_global(_SRC_DESC, 0, _GLOBAL)
+    clone = pickle.loads(pickle.dumps(da))
+    np.testing.assert_array_equal(clone.flat_local(), da.flat_local())
+    base = clone.flat_local()
+    base[:] = -7.0
+    for view in clone.patches.values():
+        assert (view == -7.0).all()            # views alias the base
+
+
+def _rendezvous_pair(comm, side):
+    if side == "acc":
+        inter = default_nameservice.accept("procs-rdv", comm)
+        inter.send(np.full(100, float(comm.rank)), comm.rank, tag=2)
+        return float(inter.recv(comm.rank, tag=3).sum())
+    inter = default_nameservice.connect("procs-rdv", comm)
+    got = inter.recv(comm.rank, tag=2)
+    inter.send(got * 2, comm.rank, tag=3)
+    return float(got.sum())
+
+
+def test_procs_nameservice_rendezvous_both_directions():
+    res = run_coupled(
+        [("acc", 2, _rendezvous_pair, ("acc",)),
+         ("conn", 2, _rendezvous_pair, ("conn",))],
+        deadlock_timeout=10.0, backend="procs")
+    assert res["conn"] == [0.0, 100.0]
+    assert res["acc"] == [0.0, 200.0]
