@@ -74,7 +74,7 @@ def run_hand_coded():
 
     def consumer(comm):
         inter = ns.connect("hc", comm)
-        for ts in range(STEPS):
+        for _ts in range(STEPS):
             buf = DistributedArray.allocate(dst, comm.rank)
             execute_inter(sched, inter, "dst", buf)
         return STEPS

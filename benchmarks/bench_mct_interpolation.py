@@ -75,8 +75,8 @@ def report():
                  f"points on {RANKS} ranks, {REPEATS} applications"))
     rows = []
     for nf in FIELD_SWEEP:
-        t_fused, (sum_f, msgs_f) = timed(lambda: run_interp(nf, True))
-        t_field, (sum_p, msgs_p) = timed(lambda: run_interp(nf, False))
+        t_fused, (sum_f, msgs_f) = timed(lambda nf=nf: run_interp(nf, True))
+        t_field, (sum_p, msgs_p) = timed(lambda nf=nf: run_interp(nf, False))
         assert abs(sum_f - sum_p) < 1e-9
         rows.append([nf, msgs_f, msgs_p,
                      f"{t_fused * 1e3:.0f}", f"{t_field * 1e3:.0f}",

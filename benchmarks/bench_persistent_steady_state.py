@@ -168,6 +168,66 @@ def sweep_rows(extent=EXTENT, steps=STEPS):
             for kind in KINDS for m, n in SIZES]
 
 
+def verify_hook_guard(extent=480, steps=6):
+    """Prove the ``REPRO_VERIFY`` assertion hook costs nothing in the
+    steady state: disabled, it does no work anywhere; enabled, all
+    verification happens at engine construction and a steady-state
+    step performs zero hook calls.  Counter deltas are exact integers."""
+    from repro.verify import hook as verify_hook
+
+    kind, m, n = ACCEPTANCE
+    src_desc, dst_desc = _pair(kind, m, n, extent)
+
+    def build_engines(sched):
+        src_job, dst_job = Job(src_desc.nranks), Job(dst_desc.nranks)
+        src_inters, dst_inters = couple_jobs(src_job, dst_job)
+        srcs, dsts = _arrays(src_desc, dst_desc, extent)
+        senders = [sched.persistent_sender(src_inters[r], srcs[r])
+                   for r in range(src_desc.nranks)]
+        receivers = [sched.persistent_receiver(dst_inters[r], dsts[r])
+                     for r in range(dst_desc.nranks)]
+        return senders, receivers
+
+    was_enabled = verify_hook.verify_enabled()
+    try:
+        # --- disabled (the default): the hook is one boolean test ------
+        verify_hook.set_verify(False)
+        verify_hook.VERIFY_STATS.reset()
+        senders, receivers = build_engines(
+            build_region_schedule(src_desc, dst_desc))
+        for _ in range(steps):
+            _persistent_step(senders, receivers)
+        disabled_total = sum(verify_hook.VERIFY_STATS.snapshot().values())
+
+        # --- enabled: proofs run once at construction, never in step ---
+        verify_hook.set_verify(True)
+        verify_hook.VERIFY_STATS.reset()
+        senders, receivers = build_engines(
+            build_region_schedule(src_desc, dst_desc))
+        construction = verify_hook.VERIFY_STATS.snapshot()
+        for _ in range(steps):
+            _persistent_step(senders, receivers)
+        after = verify_hook.VERIFY_STATS.snapshot()
+        step_calls = (after.get("hook_calls", 0)
+                      - construction.get("hook_calls", 0))
+        step_checks = (after.get("rank_checks", 0)
+                       - construction.get("rank_checks", 0))
+    finally:
+        verify_hook.set_verify(was_enabled)
+        verify_hook.VERIFY_STATS.reset()
+
+    return {
+        "kind": kind, "m": m, "n": n, "steps": steps,
+        "disabled_hook_work_total": disabled_total,
+        "construction_rank_checks": construction.get("rank_checks", 0),
+        "steady_hook_calls_per_step": step_calls / steps,
+        "steady_verifications_per_step": step_checks / steps,
+        "passed": (disabled_total == 0 and step_calls == 0
+                   and step_checks == 0
+                   and construction.get("rank_checks", 0) == m + n),
+    }
+
+
 def report(json_path=None):
     print(banner("A7 (ablation): zero-copy transport — persistent "
                  "steady state vs one-shot"))
@@ -192,8 +252,17 @@ def report(json_path=None):
           f"strided-to-strided write; index pairs gather into pooled "
           f"buffers and move them.")
 
+    guard = verify_hook_guard()
+    print(f"\nVerifier hook guard ({guard['kind']} {guard['m']}x"
+          f"{guard['n']}): disabled hook work "
+          f"{guard['disabled_hook_work_total']} (floor: 0); enabled, "
+          f"{guard['construction_rank_checks']} rank proofs at engine "
+          f"construction and {guard['steady_hook_calls_per_step']:.0f} "
+          f"hook calls per steady-state step (floor: 0).")
+
     payload = {
         "extent": EXTENT, "reps": REPS, "steps": STEPS, "rows": rows,
+        "verify_hook": guard,
         "acceptance": {
             "kind": kind, "m": m, "n": n,
             "copy_ratio": acc["copy_ratio"],
@@ -241,8 +310,17 @@ def smoke():
         raise SystemExit(
             f"pooled path allocates: {r2['persistent_allocs_per_step']} "
             f"allocations per steady-state step on blockcyclic4")
+    guard = verify_hook_guard()
+    if not guard["passed"]:
+        raise SystemExit(
+            f"verify-hook overhead regression: disabled work "
+            f"{guard['disabled_hook_work_total']}, "
+            f"{guard['steady_hook_calls_per_step']} hook calls per "
+            f"steady-state step (both must be 0, with "
+            f"{guard['m'] + guard['n']} construction-time rank proofs)")
     print("bench_persistent_steady_state smoke: OK "
-          f"(ratio {r['copy_ratio']:.1f}x, 0 allocs/step)")
+          f"(ratio {r['copy_ratio']:.1f}x, 0 allocs/step, "
+          f"verify hook zero-cost)")
 
 
 # --- pytest-benchmark hooks -------------------------------------------------

@@ -82,7 +82,7 @@ def report():
     rows = []
     for n in N_SWEEP:
         t, (ghosts, merged, ghost_returns) = timed(
-            lambda: run_collective(M, n))
+            lambda n=n: run_collective(M, n))
         rows.append([f"{M}x{n}", ghosts, merged, ghost_returns,
                      f"{t / CALLS * 1e3:.1f}"])
     print(fmt_table(["M x N", "ghost invocations", "merged at callee",

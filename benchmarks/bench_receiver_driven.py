@@ -97,8 +97,8 @@ def report():
                  f"array, M={M} N={N}"))
     rows = []
     for repeats in (1, 10):
-        t_rd, msgs_rd = timed(lambda: run_receiver_driven(repeats))
-        t_sc, msgs_sc = timed(lambda: run_scheduled(repeats))
+        t_rd, msgs_rd = timed(lambda repeats=repeats: run_receiver_driven(repeats))
+        t_sc, msgs_sc = timed(lambda repeats=repeats: run_scheduled(repeats))
         rows.append([repeats, "receiver-driven", msgs_rd,
                      f"{t_rd * 1e3:.0f}"])
         rows.append([repeats, "schedule (built per run)", msgs_sc,

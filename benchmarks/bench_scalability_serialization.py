@@ -30,9 +30,9 @@ def run_strategy(strategy, src_desc, dst_desc, g):
                if comm.rank < src_desc.nranks else None)
         dst = (DistributedArray.allocate(dst_desc, comm.rank)
                if comm.rank < dst_desc.nranks else None)
-        kwargs = dict(src_array=src, dst_array=dst,
-                      src_ranks=range(src_desc.nranks),
-                      dst_ranks=range(dst_desc.nranks))
+        kwargs = {"src_array": src, "dst_array": dst,
+                  "src_ranks": range(src_desc.nranks),
+                  "dst_ranks": range(dst_desc.nranks)}
         if strategy == "schedule":
             execute_intra(sched, comm, **kwargs)
         elif strategy == "via_root":
@@ -60,7 +60,7 @@ def report():
         g = np.random.default_rng(0).random(SHAPE)
         for strategy in ("schedule", "via_root", "elementwise"):
             t, (msgs, hottest) = timed(
-                lambda: run_strategy(strategy, src, dst, g))
+                lambda strategy=strategy: run_strategy(strategy, src, dst, g))
             rows.append([
                 f"{np.prod(src_grid)}x{np.prod(dst_grid)}", strategy,
                 msgs, f"{hottest / 1024:.0f}", f"{t * 1e3:.0f}"])

@@ -3,6 +3,11 @@
 paper-shaped tables.  EXPERIMENTS.md is produced from this output.
 
 Usage:  python benchmarks/run_all.py [E1 E5 ...]
+        python benchmarks/run_all.py --smoke
+
+``--smoke`` imports every experiment module and checks it still
+exposes a callable ``report`` without running anything — the CI guard
+that keeps new benchmarks from rotting unimported.
 """
 
 import importlib.util
@@ -49,7 +54,23 @@ def load(module_name):
     return module
 
 
+def smoke():
+    sys.path.insert(0, str(HERE))
+    t0 = time.perf_counter()
+    for exp_id, module_name in EXPERIMENTS:
+        module = load(module_name)
+        if not callable(getattr(module, "report", None)):
+            print(f"{exp_id}: {module_name} has no callable report()")
+            return 1
+        print(f"{exp_id}: {module_name} imports, report() present")
+    print(f"\n{len(EXPERIMENTS)} experiment modules import cleanly in "
+          f"{time.perf_counter() - t0:.1f} s")
+    return 0
+
+
 def main():
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(smoke())
     sys.path.insert(0, str(HERE))
     selected = set(sys.argv[1:])
     t0 = time.perf_counter()

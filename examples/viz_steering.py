@@ -54,7 +54,7 @@ def main():
             if comm.rank == 0 else None
         power = 1.0
         fired = 0
-        for step in range(STEPS):
+        for _step in range(STEPS):
             # Toy heat source: power-scaled hot spot plus decay.
             for region, arr in field.iter_patches():
                 i0 = region.lo[0]

@@ -74,6 +74,24 @@ class ScheduleError(ReproError):
     """A communication schedule could not be built or executed."""
 
 
+class VerificationError(ReproError):
+    """A static-analysis check (:mod:`repro.verify`) failed.
+
+    Carries the individual check failures in :attr:`failures` so CLI
+    and CI output can list every violated property, not just the first.
+    """
+
+    def __init__(self, message: str, failures: list[str] | None = None):
+        self.failures = list(failures or [])
+        if self.failures:
+            message = message + "\n" + "\n".join(
+                f"  - {f}" for f in self.failures)
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0].split("\n")[0], self.failures))
+
+
 class RegistrationError(ReproError):
     """Invalid M×N field registration (duplicate name, bad mode, ...)."""
 

@@ -142,7 +142,7 @@ class InterpolationScheduler:
         serves = comm.alltoall(needs_by_owner)
 
         send_offsets = []
-        for r, cols in enumerate(serves):
+        for cols in serves:
             send_offsets.append(np.array(
                 [x_gsmap.local_offset(me, c) for c in cols],
                 dtype=np.int64))

@@ -157,7 +157,7 @@ class CallerEndpoint:
         the subset receive the endpoint too, but their :meth:`invoke`
         is a no-op returning None.
         """
-        ranks = sorted(set(int(r) for r in ranks))
+        ranks = sorted({int(r) for r in ranks})
         if not ranks or ranks[0] < 0 or ranks[-1] >= self.local_comm.size:
             raise PRMIError(f"invalid subset {ranks} for cohort of "
                             f"{self.local_comm.size}")

@@ -59,6 +59,7 @@ from repro.schedule.plan import CommSchedule, LinearSchedule
 from repro.simmpi import payload
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator
+from repro.verify.hook import maybe_verify_side
 
 #: Default tag for schedule-driven data messages.
 TRANSFER_TAG = 64
@@ -129,6 +130,7 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
             raise ScheduleError(f"rank {me} is a source but has no src_array")
         s = src_pos[me]
         if packed:
+            maybe_verify_side(schedule, "send", s, src_array.descriptor)
             plan = schedule.send_plan(
                 s, src_array.descriptor.local_regions(s))
             flat = src_array.flat_local()
@@ -143,6 +145,7 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
             raise ScheduleError(f"rank {me} is a destination but has no dst_array")
         d = dst_pos[me]
         if packed:
+            maybe_verify_side(schedule, "recv", d, dst_array.descriptor)
             plan = schedule.recv_plan(
                 d, dst_array.descriptor.local_regions(d))
             flat = dst_array.flat_local()
@@ -183,6 +186,7 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
     if side == "src":
         moved = 0
         if packed:
+            maybe_verify_side(schedule, "send", me, array.descriptor)
             plan = schedule.send_plan(me, array.descriptor.local_regions(me))
             flat = array.flat_local()
             for pp in plan.pairs:
@@ -197,6 +201,7 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
     if side == "dst":
         received = 0
         if packed:
+            maybe_verify_side(schedule, "recv", me, array.descriptor)
             plan = schedule.recv_plan(me, array.descriptor.local_regions(me))
             flat = array.flat_local()
             received += _scatter_arrivals(
@@ -301,6 +306,9 @@ class PersistentSender:
         self._me = me
         self._array = array
         self._dtype = np.dtype(array.descriptor.dtype)
+        # Verification happens at engine construction — never in step()
+        # — so the steady-state path carries zero hook overhead.
+        maybe_verify_side(schedule, "send", me, array.descriptor)
         self._plan = schedule.send_plan(
             me, array.descriptor.local_regions(me))
         self.pool = pool if pool is not None else BufferPool()
@@ -348,6 +356,7 @@ class PersistentReceiver:
         self._tag = tag
         self._peer_map = peer_map
         self._array = array
+        maybe_verify_side(schedule, "recv", me, array.descriptor)
         self._plan = schedule.recv_plan(
             me, array.descriptor.local_regions(me))
         self._slots: list | None = None

@@ -81,10 +81,15 @@ class AbortFlag:
             self._waiters.append(cond)
 
     def set(self, reason: str, blocked: dict[int, str]) -> None:
-        self.reason = reason
-        self.blocked_dump = blocked
-        self._event.set()
         with self._lock:
+            # First cause wins: a rank that crashes *because* the abort
+            # already fired (e.g. re-raising DeadlockError out of a
+            # blocked recv) must not clobber the watchdog's blocked-rank
+            # dump with its secondary report.
+            if not self._event.is_set():
+                self.reason = reason
+                self.blocked_dump = blocked
+                self._event.set()
             waiters = list(self._waiters)
         for cond in waiters:
             with cond:

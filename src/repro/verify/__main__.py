@@ -1,0 +1,208 @@
+"""``python -m repro.verify`` — the static-analysis CLI and CI gate.
+
+Subcommands::
+
+    schedule    prove every builder kind against the all-pairs oracle
+    commgraph   deadlock-check the Fig. 5 programs and shipping models
+    lint        run the ownership lint pack (default target: src/)
+    all         everything above
+
+Each subcommand exits nonzero on any failed proof, unexpected verdict,
+or lint violation, so the CI steps are plain invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import VerificationError
+
+
+def _schedule_cases():
+    from repro.dad import (
+        Block,
+        BlockCyclic,
+        CartesianTemplate,
+        Collapsed,
+        Cyclic,
+        DistArrayDescriptor,
+        ExplicitTemplate,
+        GeneralizedBlock,
+    )
+    from repro.dad.template import block_template
+    from repro.util.regions import Region
+
+    def cart(*axes):
+        return DistArrayDescriptor(CartesianTemplate(list(axes)))
+
+    explicit = DistArrayDescriptor(ExplicitTemplate((8, 12), [
+        (0, Region((0, 0), (5, 7))),
+        (1, Region((0, 7), (5, 12))),
+        (2, Region((5, 0), (8, 12))),
+    ]))
+    return [
+        ("block", cart(Block(64, 4)), cart(Block(64, 6))),
+        ("block-2d",
+         DistArrayDescriptor(block_template((12, 18), (2, 2))),
+         DistArrayDescriptor(block_template((12, 18), (3, 2)))),
+        ("cyclic", cart(Cyclic(48, 3)), cart(Block(48, 4))),
+        ("cyclic-rev", cart(Block(48, 4)), cart(Cyclic(48, 3))),
+        ("block-cyclic", cart(BlockCyclic(60, 4, 5)),
+         cart(BlockCyclic(60, 3, 4))),
+        ("generalized-block", cart(GeneralizedBlock(40, [5, 15, 20])),
+         cart(Block(40, 4))),
+        ("mixed-2d", cart(Block(10, 2), Cyclic(12, 3)),
+         cart(Cyclic(10, 2), Block(12, 2))),
+        ("collapsed", cart(Collapsed(9), Block(16, 4)),
+         cart(Block(9, 3), Collapsed(16))),
+        ("explicit", explicit,
+         DistArrayDescriptor(block_template((8, 12), (2, 2)))),
+    ]
+
+
+def cmd_schedule(_args) -> int:
+    from repro.schedule.builder import build_region_schedule
+    from repro.verify.schedule import verify_against_oracle
+
+    failures = 0
+    print("schedule proofs (fast-path builders vs all-pairs oracle)")
+    print(f"{'case':<18} {'builder':<10} {'items':>6} {'pairs':>6} "
+          f"{'fast':>5} {'elems':>7}  verdict")
+    for name, src, dst in _schedule_cases():
+        for builder, force in (("fast-path", False), ("sweep", True)):
+            sched = build_region_schedule(src, dst, force_general=force)
+            try:
+                proof = verify_against_oracle(sched, src, dst)
+                verdict = "proved"
+            except VerificationError as exc:
+                failures += 1
+                verdict = f"FAILED: {exc}"
+                proof = None
+            items = len(sched.items)
+            pairs = proof.pairs if proof else 0
+            fast = proof.fastpath_pairs if proof else 0
+            elems = proof.elements if proof else 0
+            print(f"{name:<18} {builder:<10} {items:>6} {pairs:>6} "
+                  f"{fast:>5} {elems:>7}  {verdict}")
+    checks = ("completeness, disjointness, ownership, conservation, "
+              "plan consistency, oracle routing")
+    print(f"checks per case: {checks}")
+    print("schedule: " + ("FAIL" if failures else "OK"))
+    return 1 if failures else 0
+
+
+def _commgraph_cases():
+    from repro.dad import Block, CartesianTemplate, Cyclic, \
+        DistArrayDescriptor
+    from repro.dca.engine import DeliveryPolicy
+    from repro.schedule.builder import build_region_schedule
+    from repro.verify.commgraph import (
+        CommProgram,
+        fig5_model,
+        transfer_model,
+    )
+
+    def desc(axis):
+        return DistArrayDescriptor(CartesianTemplate([axis]))
+
+    quickstart = build_region_schedule(desc(Block(64, 4)), desc(Block(64, 6)))
+    cyclic = build_region_schedule(desc(Block(48, 4)), desc(Cyclic(48, 3)))
+
+    # A coupled Channel exchange scripted in a consistent order: both
+    # jobs push before pulling, so every receive has a send in flight.
+    exchange = CommProgram()
+    left = exchange.procs("left", 2)
+    right = exchange.procs("right", 2)
+    for a, b in zip(left, right):
+        exchange.send(a, b, tag=151)
+        exchange.send(b, a, tag=152)
+        exchange.recv(b, a, tag=151)
+        exchange.recv(a, b, tag=152)
+
+    # The same exchange scripted pull-before-push on both sides: the
+    # classic head-to-head receive cycle a static check must flag.
+    head_to_head = CommProgram()
+    lp = head_to_head.proc("left", 0)
+    rp = head_to_head.proc("right", 0)
+    head_to_head.recv(lp, rp, tag=151)
+    head_to_head.send(lp, rp, tag=152)
+    head_to_head.recv(rp, lp, tag=152)
+    head_to_head.send(rp, lp, tag=151)
+
+    return [
+        ("fig5-eager", fig5_model(DeliveryPolicy.EAGER), True),
+        ("fig5-barrier", fig5_model(DeliveryPolicy.BARRIER), False),
+        ("transfer-quickstart", transfer_model(quickstart), False),
+        ("transfer-cyclic", transfer_model(cyclic), False),
+        ("coupler-exchange", exchange, False),
+        ("pull-before-push", head_to_head, True),
+    ]
+
+
+def cmd_commgraph(_args) -> int:
+    from repro.verify.commgraph import would_deadlock
+
+    failures = 0
+    print("communication-graph deadlock analysis")
+    for name, program, expect_deadlock in _commgraph_cases():
+        diag = would_deadlock(program)
+        got = diag is not None
+        ok = got == expect_deadlock
+        if not ok:
+            failures += 1
+        verdict = ("would deadlock" if got else "deadlock-free")
+        expected = ("deadlock" if expect_deadlock else "clean")
+        print(f"  {name:<22} {verdict:<16} (expected {expected})"
+              + ("" if ok else "  MISMATCH"))
+        if diag is not None and expect_deadlock:
+            for key in sorted(diag.blocked):
+                print(f"      {key}: {diag.blocked[key]}")
+            for cyc in diag.cycles:
+                print("      wait cycle: " + " -> ".join(cyc + cyc[:1]))
+            print(f"      kind: {diag.kind}")
+    print("commgraph: " + ("FAIL" if failures else "OK"))
+    return 1 if failures else 0
+
+
+def cmd_lint(args) -> int:
+    from repro.verify.lint import RULES, lint_paths
+
+    paths = args.paths or ["src/"]
+    violations = lint_paths(paths)
+    for v in violations:
+        print(v)
+    print(f"lint: {len(violations)} violation(s) over {', '.join(paths)} "
+          f"({len(RULES)} rules)")
+    return 1 if violations else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="static schedule proofs, deadlock detection, and "
+                    "the ownership lint pack")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("schedule", help="prove builders against the oracle")
+    sub.add_parser("commgraph", help="deadlock-check communication models")
+    lint = sub.add_parser("lint", help="run the ownership lint pack")
+    lint.add_argument("paths", nargs="*", help="files or directories "
+                      "(default: src/)")
+    sub.add_parser("all", help="run every analyzer")
+    args = parser.parse_args(argv)
+
+    if args.command == "schedule":
+        return cmd_schedule(args)
+    if args.command == "commgraph":
+        return cmd_commgraph(args)
+    if args.command == "lint":
+        return cmd_lint(args)
+    rc = cmd_schedule(args)
+    rc |= cmd_commgraph(args)
+    args.paths = []
+    rc |= cmd_lint(args)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

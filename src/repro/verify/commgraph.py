@@ -1,0 +1,437 @@
+"""Static communication-graph deadlock detection.
+
+The runtime watchdog (:mod:`repro.simmpi.runner`) diagnoses a deadlock
+*after* it forms: every unfinished rank blocked in a receive with no
+delivery in flight.  This module finds the same states *before launch*
+by abstract execution of a small communication program model:
+
+* each process is a straight-line sequence of communication operations
+  (:class:`SendOp`, :class:`RecvOp`, :class:`BarrierOp`,
+  :class:`CallOp`, :class:`ServeOp`),
+* sends are buffered and never block (the §4.1 transfer protocol the
+  executors implement), receives block on their matching send, barriers
+  block on every member, collective PRMI calls block on the serial
+  provider servicing them, and an uncommitted provider
+  nondeterministically commits to any call whose header has arrived
+  (the lowest-rank participant having reached the call — exactly DCA's
+  commitment point),
+* the checker explores *every* commitment interleaving (bounded DFS
+  with state memoization; programs are finite and loop-free, so the
+  space is small), reporting the first reachable stuck state.
+
+On a stuck state the wait-for graph over processes is extracted, its
+cycles named via :func:`networkx.simple_cycles`, and the diagnosis is
+rendered in the exact blocked-rank dump format
+:class:`~repro.errors.DeadlockError` uses at runtime — keys are
+``"{job} rank {r}"`` strings — so a pre-launch report reads like the
+post-mortem it prevents.
+
+:func:`fig5_model` rebuilds the paper's Figure 5 programs
+(:mod:`repro.dca.fig5`) under either delivery policy;
+:func:`transfer_model` reconstructs the wait-for structure of a
+schedule-driven transfer (one buffered send plus one blocking receive
+per communicating rank pair, exactly what the packed executors post);
+:meth:`CommProgram.channel_pair` models a ``Channel.push``/``pull``
+exchange so coupled Coupler scripts can be checked for pull-before-push
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, NamedTuple
+
+import networkx as nx
+
+from repro.errors import DeadlockError
+from repro.schedule.plan import CommSchedule
+
+__all__ = [
+    "Proc",
+    "CommProgram",
+    "Diagnosis",
+    "would_deadlock",
+    "assert_deadlock_free",
+    "transfer_model",
+    "fig5_model",
+]
+
+
+class Proc(NamedTuple):
+    """One modeled process: a job name plus a rank inside it."""
+
+    job: str
+    rank: int
+
+    @property
+    def key(self) -> str:
+        """The runner's blocked-dump key format."""
+        return f"{self.job} rank {self.rank}"
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Buffered point-to-point send — never blocks."""
+
+    dest: Proc
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """Blocking point-to-point receive from a specific source."""
+
+    source: Proc
+    tag: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class BarrierOp:
+    """A barrier over ``members`` — identity-keyed, so the *same*
+    BarrierOp object must be appended to every member's program (two
+    textually identical barriers are distinct collectives)."""
+
+    members: tuple[Proc, ...]
+    label: str = ""
+
+
+@dataclass(frozen=True, eq=False)
+class CallOp:
+    """One collective PRMI invocation instance — identity-keyed like
+    :class:`BarrierOp`: all participants share one object.  Blocks each
+    participant until the provider has serviced the call."""
+
+    method: str
+    participants: tuple[Proc, ...]
+    provider: Proc
+
+    @property
+    def header_rank(self) -> Proc:
+        """DCA sends the request header from the lowest participant."""
+        return min(self.participants)
+
+
+@dataclass(frozen=True, eq=False)
+class ServeOp:
+    """The serial provider's ``serve_one()``: commit to one pending
+    call (its header has arrived), then block until every participant
+    reaches it."""
+
+
+Op = object
+
+
+class CommProgram:
+    """A set of per-process communication programs to check."""
+
+    def __init__(self):
+        self._ops: dict[Proc, list] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def proc(self, job: str, rank: int = 0) -> Proc:
+        p = Proc(job, rank)
+        self._ops.setdefault(p, [])
+        return p
+
+    def procs(self, job: str, nranks: int) -> list[Proc]:
+        return [self.proc(job, r) for r in range(nranks)]
+
+    def add(self, proc: Proc, op) -> None:
+        self._ops.setdefault(proc, []).append(op)
+
+    def send(self, frm: Proc, to: Proc, tag: int = 0) -> None:
+        self.add(frm, SendOp(to, tag))
+
+    def recv(self, at: Proc, frm: Proc, tag: int = 0) -> None:
+        self.add(at, RecvOp(frm, tag))
+
+    def barrier(self, members: Iterable[Proc], label: str = "") -> None:
+        op = BarrierOp(tuple(members), label)
+        for m in op.members:
+            self.add(m, op)
+
+    def call(self, method: str, participants: Iterable[Proc],
+             provider: Proc) -> CallOp:
+        op = CallOp(method, tuple(participants), provider)
+        for p in op.participants:
+            self.add(p, op)
+        return op
+
+    def serve(self, provider: Proc) -> None:
+        self.add(provider, ServeOp())
+
+    def transfer(self, schedule: CommSchedule, src_procs: list[Proc],
+                 dst_procs: list[Proc], tag: int = 0) -> None:
+        """Model one packed schedule execution: a buffered send per
+        communicating (src, dst) pair posted first, then the receive
+        side blocking per pair — the executors' §4.1 protocol."""
+        for s in range(schedule.src_nranks):
+            for d, _regions, _offs in schedule.send_groups(s):
+                self.send(src_procs[s], dst_procs[d], tag)
+        for d in range(schedule.dst_nranks):
+            for s, _regions, _offs in schedule.recv_groups(d):
+                self.recv(dst_procs[d], src_procs[s], tag)
+
+    def channel_pair(self, src: Proc, dst: Proc, tag: int = 0) -> None:
+        """Model one ``Channel.push``/``pull`` hop between two ranks:
+        a buffered data send met by a blocking receive."""
+        self.send(src, dst, tag)
+        self.recv(dst, src, tag)
+
+    # -- abstract execution --------------------------------------------------
+
+    def _explore(self):
+        """DFS over all provider-commitment interleavings; returns the
+        first reachable stuck (deadlocked) state or ``None``."""
+        procs = sorted(self._ops)
+        ops = {p: tuple(self._ops[p]) for p in procs}
+        n = {p: len(ops[p]) for p in procs}
+        # Channel state is a tuple of consumed-message counters per
+        # (sender, receiver, tag); sends are derivable from pcs so only
+        # consumption needs tracking.
+        init = (tuple(0 for _ in procs), (), frozenset())
+        seen = set()
+        stack = [init]
+        while stack:
+            state = stack.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            pcs_t, commits_t, done = state
+            pcs = dict(zip(procs, pcs_t))
+            commits = dict(commits_t)
+
+            def sent(frm, to, tag):
+                return sum(1 for k in range(pcs[frm])
+                           if isinstance(ops[frm][k], SendOp)
+                           and ops[frm][k].dest == to
+                           and ops[frm][k].tag == tag)
+
+            consumed: dict[tuple, int] = {}
+            for p in procs:
+                for k in range(pcs[p]):
+                    op = ops[p][k]
+                    if isinstance(op, RecvOp):
+                        key = (op.source, p, op.tag)
+                        consumed[key] = consumed.get(key, 0) + 1
+
+            successors = []
+
+            def advance(moves, new_commits=None, new_done=None):
+                np_pcs = dict(pcs)
+                for p in moves:
+                    np_pcs[p] += 1
+                successors.append((
+                    tuple(np_pcs[p] for p in procs),
+                    tuple(sorted((new_commits if new_commits is not None
+                                  else commits).items())),
+                    new_done if new_done is not None else done))
+
+            for p in procs:
+                if pcs[p] >= n[p]:
+                    continue
+                op = ops[p][pcs[p]]
+                if isinstance(op, SendOp):
+                    advance([p])
+                elif isinstance(op, RecvOp):
+                    key = (op.source, p, op.tag)
+                    if sent(*key) > consumed.get(key, 0):
+                        advance([p])
+                elif isinstance(op, BarrierOp):
+                    if all(pcs[m] < n[m] and ops[m][pcs[m]] is op
+                           for m in op.members):
+                        if p == min(op.members):
+                            advance(list(op.members))
+                elif isinstance(op, CallOp):
+                    if id(op) in done:
+                        advance([p])
+                elif isinstance(op, ServeOp):
+                    committed = commits.get(p)
+                    if committed is None:
+                        for c in self._pending_calls(p, ops, n, pcs, done):
+                            nc = dict(commits)
+                            nc[p] = c
+                            advance([], new_commits=nc)
+                    else:
+                        c = committed
+                        if all(pcs[q] < n[q] and ops[q][pcs[q]] is c
+                               for q in c.participants):
+                            nc = dict(commits)
+                            del nc[p]
+                            advance([p], new_commits=nc,
+                                    new_done=done | {id(c)})
+
+            if not successors:
+                if any(pcs[p] < n[p] for p in procs):
+                    return pcs, commits, done, ops, n, consumed
+                continue
+            stack.extend(successors)
+        return None
+
+    def _pending_calls(self, provider, ops, n, pcs, done):
+        """Call instances whose header has arrived at ``provider``: the
+        lowest-rank participant is blocked at the call and it has not
+        been serviced yet."""
+        pending = []
+        seen_ids = set()
+        for p, plist in ops.items():
+            for k in range(pcs[p], n[p]):
+                op = plist[k]
+                if (isinstance(op, CallOp) and op.provider == provider
+                        and id(op) not in done and id(op) not in seen_ids):
+                    seen_ids.add(id(op))
+                    h = op.header_rank
+                    if pcs[h] < n[h] and ops[h][pcs[h]] is op:
+                        pending.append(op)
+        return pending
+
+    def analyze(self) -> "Diagnosis | None":
+        """Return a :class:`Diagnosis` for the first reachable deadlock,
+        or ``None`` when every interleaving runs to completion."""
+        stuck = self._explore()
+        if stuck is None:
+            return None
+        pcs, commits, done, ops, n, consumed = stuck
+        blocked: dict[str, str] = {}
+        graph = nx.DiGraph()
+        collective_wait = False
+        for p in sorted(pcs):
+            if pcs[p] >= n[p]:
+                continue
+            op = ops[p][pcs[p]]
+            graph.add_node(p.key)
+            if isinstance(op, RecvOp):
+                blocked[p.key] = (
+                    f"recv(source={op.source.key}, tag={op.tag}) "
+                    f"with no matching send in flight")
+                graph.add_edge(p.key, op.source.key)
+            elif isinstance(op, BarrierOp):
+                collective_wait = True
+                waiting = [m for m in op.members
+                           if not (pcs[m] < n[m] and ops[m][pcs[m]] is op)]
+                blocked[p.key] = (
+                    f"barrier({op.label or len(op.members)}) waiting for "
+                    + ", ".join(m.key for m in waiting))
+                for m in waiting:
+                    graph.add_edge(p.key, m.key)
+            elif isinstance(op, CallOp):
+                collective_wait = True
+                blocked[p.key] = (
+                    f"collective call {op.method!r} awaiting service by "
+                    f"{op.provider.key}")
+                graph.add_edge(p.key, op.provider.key)
+            elif isinstance(op, ServeOp):
+                collective_wait = True
+                committed = commits.get(p)
+                if committed is not None:
+                    waiting = [q for q in committed.participants
+                               if not (pcs[q] < n[q]
+                                       and ops[q][pcs[q]] is committed)]
+                    blocked[p.key] = (
+                        f"serving {committed.method!r}, waiting for "
+                        f"participants "
+                        + ", ".join(q.key for q in waiting))
+                    for q in waiting:
+                        graph.add_edge(p.key, q.key)
+                else:
+                    heads = [c.header_rank for c in self._all_calls(p, ops)
+                             if id(c) not in done]
+                    blocked[p.key] = (
+                        "serve_one() with no call header in flight")
+                    for h in heads:
+                        graph.add_edge(p.key, h.key)
+        cycles = [c for c in nx.simple_cycles(graph)]
+        return Diagnosis(blocked=blocked, cycles=cycles,
+                         collective=collective_wait)
+
+    def _all_calls(self, provider, ops):
+        out, seen = [], set()
+        for plist in ops.values():
+            for op in plist:
+                if (isinstance(op, CallOp) and op.provider == provider
+                        and id(op) not in seen):
+                    seen.add(id(op))
+                    out.append(op)
+        return out
+
+
+@dataclass
+class Diagnosis:
+    """A would-deadlock report in the runtime watchdog's dump format."""
+
+    blocked: dict[str, str]
+    cycles: list[list[str]] = field(default_factory=list)
+    collective: bool = False
+
+    @property
+    def kind(self) -> str:
+        return ("collective-order mismatch" if self.collective
+                else "receive cycle")
+
+    def to_error(self) -> DeadlockError:
+        """The exact exception the runtime watchdog would raise, built
+        before launch."""
+        lines = [f"static analysis: {self.kind} — "
+                 f"{len(self.blocked)} process(es) can block forever"]
+        for key in sorted(self.blocked):
+            lines.append(f"  {key}: {self.blocked[key]}")
+        for cyc in self.cycles:
+            lines.append("  wait cycle: " + " -> ".join(cyc + cyc[:1]))
+        return DeadlockError("\n".join(lines), blocked=self.blocked)
+
+
+def would_deadlock(program: CommProgram) -> Diagnosis | None:
+    """Analyze ``program``; a :class:`Diagnosis` if any interleaving
+    deadlocks, ``None`` if all complete."""
+    return program.analyze()
+
+
+def assert_deadlock_free(program: CommProgram) -> None:
+    """Raise the pre-launch :class:`~repro.errors.DeadlockError` if any
+    interleaving of ``program`` deadlocks."""
+    diag = program.analyze()
+    if diag is not None:
+        raise diag.to_error()
+
+
+def transfer_model(schedule: CommSchedule, src_job: str = "src",
+                   dst_job: str = "dst") -> CommProgram:
+    """The communication program of one coupled schedule execution."""
+    prog = CommProgram()
+    src = prog.procs(src_job, schedule.src_nranks)
+    dst = prog.procs(dst_job, schedule.dst_nranks)
+    prog.transfer(schedule, src, dst)
+    return prog
+
+
+def fig5_model(policy) -> CommProgram:
+    """The paper's Figure 5 programs (:mod:`repro.dca.fig5`) under a
+    :class:`~repro.dca.engine.DeliveryPolicy`.
+
+    One serial provider serving two collective calls; caller 0 makes
+    call 1 only, callers 1 and 2 make call 2 (just the two of them)
+    first and then call 1.  Under EAGER delivery the provider may
+    commit to call 1 while callers 1–2 are still inside call 2 —
+    deadlock; under BARRIER a barrier over each call's participants
+    precedes delivery, which removes the bad commitment.
+    """
+    from repro.dca.engine import DeliveryPolicy
+
+    prog = CommProgram()
+    provider = prog.proc("provider", 0)
+    c0, c1, c2 = prog.procs("callers", 3)
+    prog.serve(provider)
+    prog.serve(provider)
+    barrier = policy == DeliveryPolicy.BARRIER
+    call1 = CallOp("collective_call_1", (c0, c1, c2), provider)
+    call2 = CallOp("collective_call_2", (c1, c2), provider)
+    if barrier:
+        prog.barrier((c1, c2), label="call2")
+    for p in (c1, c2):
+        prog.add(p, call2)
+    if barrier:
+        prog.barrier((c0, c1, c2), label="call1")
+    for p in (c0, c1, c2):
+        prog.add(p, call1)
+    return prog

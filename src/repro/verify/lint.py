@@ -1,0 +1,239 @@
+"""Ownership lint pack: AST checks for the transport contract.
+
+The zero-copy transport (:mod:`repro.simmpi.payload`) is an ownership
+*protocol*, not a type system — Walker et al.'s point that transmission
+policy should be checkable as a property of the code, not of a
+particular run.  These rules enforce the PR-3/PR-4 contract statically
+over ``src/``:
+
+* **V101 — use after move.**  Wrapping an array in ``OwnedBuffer(buf)``
+  transfers ownership to the transport; any later load of ``buf`` in
+  the same function (without an intervening rebinding) races the
+  consumer and, under ``REPRO_TRANSPORT_DEBUG=1``, reads poisoned
+  bytes.
+* **V102 — escaped Borrowed/OwnedBuffer marker.**  A payload marker is
+  consumed synchronously inside the ``send`` it is passed to.  Storing
+  one on an attribute, into a subscript, or into a container
+  (``.append``/``.add``/``.insert``/``.extend``) keeps a lent view (or
+  a moved buffer) alive past its consumption scope.  Returning a
+  freshly built marker is fine — that is how ``_wire_payload`` hands
+  one to the send call.
+* **V103 — Raw payload in the procs backend.**  ``Raw`` wraps
+  process-local handles whose identity cannot survive a fork; modules
+  implementing the forked-process backend must never construct one.
+* **V104 — polling sleep loop.**  ``time.sleep`` inside a ``for``/
+  ``while`` body is a busy-wait; the transport is event-driven
+  (condition variables, preposted slots) and polling loops defeat both
+  latency and the deadlock watchdog's blocked-state accounting.
+
+A line can opt out with a ``# verify: allow(V10x)`` pragma naming the
+rule.  :func:`lint_paths` walks files or directories and returns
+:class:`LintViolation` records; the CLI (``python -m repro.verify lint
+src/``) renders them and exits nonzero, which is the CI wiring.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["LintViolation", "lint_source", "lint_paths", "RULES"]
+
+#: Rule id -> one-line description (the CLI's legend).
+RULES = {
+    "V101": "OwnedBuffer payload used after its buffer was moved",
+    "V102": "Borrowed/OwnedBuffer marker stored past its consumption scope",
+    "V103": "Raw payload constructed in a procs-backend module",
+    "V104": "time.sleep polling loop in transport code",
+}
+
+#: Modules implementing the forked-process backend (V103 scope).
+PROCS_BACKEND_MODULES = ("simmpi/procs.py", "simmpi/shm.py")
+
+_ALLOW_RE = re.compile(r"#\s*verify:\s*allow\(([A-Z0-9, ]+)\)")
+
+_CONTAINER_SINKS = {"append", "add", "insert", "extend", "appendleft"}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule hit: where, which rule, and what the code did."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _call_name(node: ast.AST) -> str | None:
+    """The trailing identifier of a call target: ``OwnedBuffer(...)``
+    and ``payload.OwnedBuffer(...)`` both yield ``"OwnedBuffer"``."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    return None
+
+
+def _marker_calls(tree: ast.AST, names: set[str]) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _call_name(node) in names:
+            yield node
+
+
+def _allowed_lines(source: str) -> dict[int, set[str]]:
+    allowed: dict[int, set[str]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            allowed[i] = {r.strip() for r in m.group(1).split(",")}
+    return allowed
+
+
+def _check_use_after_move(func: ast.AST) -> Iterator[tuple[int, str]]:
+    """V101 inside one function body, by line-ordered dataflow
+    approximation: a name passed positionally to ``OwnedBuffer`` is
+    *moved*; a later load without an intervening store is a violation."""
+    moves: dict[str, int] = {}
+    events: list[tuple[int, str, str]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and _call_name(node) == "OwnedBuffer":
+            if node.args and isinstance(node.args[0], ast.Name):
+                events.append((node.lineno, "move", node.args[0].id))
+        elif isinstance(node, ast.Name):
+            kind = ("load" if isinstance(node.ctx, ast.Load) else "store")
+            events.append((node.lineno, kind, node.id))
+    for line, kind, name in sorted(events):
+        if kind == "move":
+            moves[name] = line
+        elif kind == "store":
+            moves.pop(name, None)
+        elif name in moves and line > moves[name]:
+            yield (line, f"{name!r} was moved into an OwnedBuffer on line "
+                         f"{moves[name]} and read again here")
+            del moves[name]
+
+
+def _check_escaped_marker(tree: ast.AST) -> Iterator[tuple[int, str]]:
+    """V102: marker expressions assigned to attributes/subscripts or
+    pushed into containers."""
+    markers = {"Borrowed", "OwnedBuffer"}
+
+    def is_marker(node: ast.AST) -> bool:
+        return _call_name(node) in markers
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = node.value
+            if value is None:
+                continue
+            parts = (value.elts if isinstance(value, (ast.Tuple, ast.List))
+                     else [value])
+            if not any(is_marker(p) for p in parts):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                tparts = (t.elts if isinstance(t, (ast.Tuple, ast.List))
+                          else [t])
+                for tp in tparts:
+                    if isinstance(tp, (ast.Attribute, ast.Subscript)):
+                        name = _call_name(next(
+                            p for p in parts if is_marker(p)))
+                        yield (node.lineno,
+                               f"{name} marker stored on "
+                               f"{'an attribute' if isinstance(tp, ast.Attribute) else 'a subscript'}"
+                               f" — markers must be consumed synchronously"
+                               f" by the send they are passed to")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _CONTAINER_SINKS
+                    and any(is_marker(a) for a in node.args)):
+                name = _call_name(next(a for a in node.args if is_marker(a)))
+                yield (node.lineno,
+                       f"{name} marker pushed into a container via "
+                       f".{func.attr}() — markers must not outlive the "
+                       f"send call")
+
+
+def _check_raw_in_procs(tree: ast.AST, relpath: str,
+                        ) -> Iterator[tuple[int, str]]:
+    """V103: Raw construction inside the forked-process backend."""
+    if not any(relpath.endswith(m) for m in PROCS_BACKEND_MODULES):
+        return
+    for call in _marker_calls(tree, {"Raw"}):
+        yield (call.lineno,
+               "Raw payload constructed in a procs-backend module — "
+               "process-local handles cannot cross a fork boundary")
+
+
+def _check_sleep_loops(tree: ast.AST) -> Iterator[tuple[int, str]]:
+    """V104: ``time.sleep``/``sleep`` calls lexically inside a loop."""
+    loops = [n for n in ast.walk(tree) if isinstance(n, (ast.For, ast.While))]
+    for loop in loops:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                func = node.func
+                qualified = (isinstance(func, ast.Attribute)
+                             and isinstance(func.value, ast.Name)
+                             and func.value.id == "time")
+                if name == "sleep" and (qualified
+                                        or isinstance(func, ast.Name)):
+                    yield (node.lineno,
+                           "time.sleep inside a loop is a polling "
+                           "busy-wait — use condition variables or "
+                           "preposted receive slots")
+
+
+def lint_source(source: str, path: str = "<string>",
+                relpath: str | None = None) -> list[LintViolation]:
+    """Run every rule over one module's source text."""
+    tree = ast.parse(source, filename=path)
+    allowed = _allowed_lines(source)
+    relpath = relpath if relpath is not None else path
+    hits: list[tuple[int, str, str]] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            hits.extend((ln, "V101", msg)
+                        for ln, msg in _check_use_after_move(node))
+    hits.extend((ln, "V102", msg)
+                for ln, msg in _check_escaped_marker(tree))
+    hits.extend((ln, "V103", msg)
+                for ln, msg in _check_raw_in_procs(tree, relpath))
+    hits.extend((ln, "V104", msg)
+                for ln, msg in _check_sleep_loops(tree))
+
+    out = []
+    for line, rule, message in sorted(hits):
+        if rule in allowed.get(line, ()):
+            continue
+        out.append(LintViolation(path, line, rule, message))
+    return out
+
+
+def lint_paths(paths: Iterable[str | pathlib.Path]) -> list[LintViolation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    files: list[pathlib.Path] = []
+    for p in paths:
+        p = pathlib.Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    violations: list[LintViolation] = []
+    for f in files:
+        violations.extend(
+            lint_source(f.read_text(), path=str(f),
+                        relpath=str(f.as_posix())))
+    return violations

@@ -1,0 +1,28 @@
+"""Repo-wide fixtures.
+
+One autouse fixture resets every process-wide counter family around
+each test, so absolute-value assertions cannot bleed between tests
+under xdist or reordering — shared here instead of being duplicated
+per test package.
+"""
+
+import pytest
+
+from repro.schedule.indexplan import PLAN_STATS
+from repro.util.counters import TRANSPORT_STATS
+from repro.verify.hook import VERIFY_STATS
+
+
+def _reset_all():
+    TRANSPORT_STATS.reset()
+    PLAN_STATS.reset()
+    VERIFY_STATS.reset()
+
+
+@pytest.fixture(autouse=True)
+def transport_stats():
+    """Reset the transport, plan-compilation, and verification counters
+    around every test.  Yields the transport counters for convenience."""
+    _reset_all()
+    yield TRANSPORT_STATS
+    _reset_all()

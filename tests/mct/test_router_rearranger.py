@@ -17,7 +17,7 @@ def test_mct_world_registry():
                 world.my_model_rank)
 
     results = run_spmd(5, main)
-    for r, (models, atm, ocn, msize, mrank) in enumerate(results):
+    for r, (models, atm, ocn, msize, _mrank) in enumerate(results):
         assert models == ["atm", "ocn"]
         assert atm == [0, 1]
         assert ocn == [2, 3, 4]

@@ -95,7 +95,7 @@ def run_transfer(m, n, kind=ConnectionKind.ONE_SHOT, period=1, cycles=1,
         mxn.register("field", da, dst_mode)
         conn = mxn.connect(inter, "destination", "field", kind, period)
         snapshots = []
-        for c in range(cycles):
+        for _c in range(cycles):
             if conn.data_ready():
                 snapshots.append(
                     {r: a.copy() for r, a in da.iter_patches()})

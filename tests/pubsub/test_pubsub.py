@@ -57,7 +57,7 @@ def test_single_subscriber_stream():
     for k in range(steps):
         parts = [out["sub"][r][k] for r in range(2)]
         expected = np.fromfunction(
-            lambda i, j: 100.0 * k + 10 * i + j, SHAPE)
+            lambda i, j, k=k: 100.0 * k + 10 * i + j, SHAPE)
         np.testing.assert_array_equal(
             DistributedArray.assemble(parts), expected)
 

@@ -104,9 +104,9 @@ class TestPlanLoopEquivalence:
                 # the wire buffer the source side would produce
                 src_arr = src_full if src_full is not None and s == 0 else \
                     DistributedArray.from_global(src_desc, s, g)
-                send_groups = dict(
-                    (dd, (rr, oo))
-                    for dd, rr, oo in sched.send_groups(s))
+                send_groups = {
+                    dd: (rr, oo)
+                    for dd, rr, oo in sched.send_groups(s)}
                 s_regions, s_offsets = send_groups[d]
                 buf = pack_regions(src_arr, s_regions, s_offsets)
                 assert pp.scatter(flat, buf) == buf.size
@@ -182,8 +182,8 @@ class TestContiguityFastPath:
         assert all(not p.contiguous for p in plan.pairs if p.strided)
         arr = DistributedArray.from_global(src, 0, np.arange(12.0))
         flat = arr.flat_local()
-        for pp, (d, regions, offsets) in zip(plan.pairs,
-                                             sched.send_groups(0)):
+        for pp, (_d, regions, offsets) in zip(plan.pairs,
+                                              sched.send_groups(0)):
             np.testing.assert_array_equal(
                 pp.gather(flat),
                 pack_regions(arr, regions, offsets))

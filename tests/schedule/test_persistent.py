@@ -99,7 +99,7 @@ class TestPersistentEquivalence:
         src_arrays, dst_arrays, senders, receivers = _engines(
             src_desc, dst_desc, g)
         total = int(np.prod(src_t.shape))
-        for step in range(3):
+        for _i in range(3):
             got = _step(senders, receivers)
             assert got == total
             for d, arr in enumerate(dst_arrays):

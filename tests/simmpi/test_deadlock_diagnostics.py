@@ -1,0 +1,60 @@
+"""DeadlockError diagnostics: the blocked-rank dump and abort reason
+carry the same information on both execution backends."""
+
+import re
+
+import pytest
+
+from repro.errors import DeadlockError, SpmdError
+from repro.simmpi import run_coupled, run_spmd
+
+BACKENDS = ["threads", "procs"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_coupled_dump_names_jobs_and_reason(backend):
+    """Coupled launches key the dump ``"{job} rank {r}"`` and the error
+    text names the watchdog's abort reason and the blocked receive."""
+    def stuck_left(comm):
+        comm.recv(0, tag=7)
+
+    def stuck_right(comm):
+        comm.recv(0, tag=9)
+
+    with pytest.raises(SpmdError) as ei:
+        run_coupled([("alpha", 1, stuck_left, ()),
+                     ("beta", 1, stuck_right, ())],
+                    deadlock_timeout=1.0, backend=backend)
+    errs = [e for e in ei.value.failures.values()
+            if isinstance(e, DeadlockError)]
+    assert errs, "every deadlocked rank reports a DeadlockError"
+    for err in errs:
+        assert set(err.blocked) == {"alpha rank 0", "beta rank 0"}
+        for key, desc in err.blocked.items():
+            assert re.fullmatch(r"\w+ rank \d+", key)
+            assert desc.startswith("recv("), desc
+        assert "deadlock detected by watchdog" in str(err)
+        assert "aborted while blocked in recv(" in str(err)
+    # tag visibility: the dump says *what* each rank was waiting for
+    merged = errs[0].blocked
+    assert "tag=7" in merged["alpha rank 0"]
+    assert "tag=9" in merged["beta rank 0"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_single_job_dump_uses_plain_ranks(backend):
+    """Single-job launches key the dump by plain integer rank."""
+    def stuck(comm):
+        if comm.rank == 0:
+            comm.recv(1, tag=3)
+        else:
+            comm.recv(0, tag=4)
+
+    with pytest.raises(SpmdError) as ei:
+        run_spmd(2, stuck, deadlock_timeout=1.0, backend=backend)
+    errs = [e for e in ei.value.failures.values()
+            if isinstance(e, DeadlockError)]
+    assert errs
+    for err in errs:
+        assert set(err.blocked) == {0, 1}
+        assert "deadlock detected by watchdog" in str(err)

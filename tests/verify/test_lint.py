@@ -1,0 +1,123 @@
+"""Ownership lint pack: each rule fires on a minimal violation, stays
+quiet on the idiomatic counterpart, and the shipped source is clean."""
+
+import pathlib
+import textwrap
+
+from repro.verify.lint import lint_paths, lint_source
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def lint(code: str, relpath: str = "mod.py"):
+    return lint_source(textwrap.dedent(code), path=relpath, relpath=relpath)
+
+
+# -- V101: use after move ----------------------------------------------------
+
+def test_v101_use_after_move():
+    hits = lint("""
+        def send_twice(comm, buf):
+            comm.send(payload.OwnedBuffer(buf), 0, 1)
+            return buf.sum()
+    """)
+    assert [h.rule for h in hits] == ["V101"]
+    assert "moved into an OwnedBuffer" in hits[0].message
+
+
+def test_v101_rebinding_clears_the_move():
+    hits = lint("""
+        def resend(comm, buf):
+            comm.send(payload.OwnedBuffer(buf), 0, 1)
+            buf = fresh()
+            return buf.sum()
+    """)
+    assert hits == []
+
+
+def test_v101_plain_move_is_clean():
+    hits = lint("""
+        def wire(pp, flat):
+            buf = pp.gather(flat)
+            return payload.OwnedBuffer(buf)
+    """)
+    assert hits == []
+
+
+# -- V102: escaped marker ----------------------------------------------------
+
+def test_v102_marker_stored_on_attribute():
+    hits = lint("""
+        def stash(self, view):
+            self.pending = payload.Borrowed(view)
+    """)
+    assert [h.rule for h in hits] == ["V102"]
+
+
+def test_v102_marker_pushed_into_container():
+    hits = lint("""
+        def queue_up(out, view):
+            out.append(Borrowed(view))
+    """)
+    assert [h.rule for h in hits] == ["V102"]
+
+
+def test_v102_local_and_returned_markers_are_fine():
+    hits = lint("""
+        def wire(pp, flat):
+            buf = pp.gather(flat)
+            if pp.idx is None:
+                return payload.Borrowed(buf)
+            wire = payload.OwnedBuffer(buf)
+            return wire
+    """)
+    assert hits == []
+
+
+# -- V103: Raw in the procs backend ------------------------------------------
+
+def test_v103_raw_flagged_only_in_procs_modules():
+    code = """
+        def ship(handle):
+            return payload.Raw(handle)
+    """
+    assert lint(code, "src/repro/simmpi/procs.py") != []
+    assert lint(code, "src/repro/simmpi/shm.py") != []
+    assert lint(code, "src/repro/simmpi/transport.py") == []
+
+
+# -- V104: polling sleep loop ------------------------------------------------
+
+def test_v104_sleep_loop_flagged():
+    hits = lint("""
+        import time
+        def wait_for(flag):
+            while not flag.is_set():
+                time.sleep(0.01)
+    """)
+    assert [h.rule for h in hits] == ["V104"]
+
+
+def test_v104_straight_line_sleep_allowed():
+    hits = lint("""
+        import time
+        def stagger(s):
+            time.sleep(s)
+    """)
+    assert hits == []
+
+
+# -- pragmas and the shipped tree -------------------------------------------
+
+def test_allow_pragma_suppresses_named_rule():
+    hits = lint("""
+        import time
+        def poll(flag):
+            while not flag.is_set():
+                time.sleep(0.01)  # verify: allow(V104)
+    """)
+    assert hits == []
+
+
+def test_shipped_source_tree_is_clean():
+    assert lint_paths([SRC]) == []
