@@ -42,6 +42,7 @@ EXPERIMENTS = [
     ("A6", "bench_pack_throughput"),
     ("A7", "bench_persistent_steady_state"),
     ("A8", "bench_multicore_scaling"),
+    ("A9", "bench_rma_steady_state"),
 ]
 
 

@@ -163,6 +163,31 @@ class DistributedArray:
     def fill(self, value) -> None:
         self._base.fill(value)
 
+    def rebase(self, base: np.ndarray) -> None:
+        """Move local storage into a caller-provided flat buffer.
+
+        ``base`` must match the consolidated buffer's size and dtype;
+        current contents are copied over and every patch view is rebound
+        so subsequent reads and writes — including :meth:`flat_local`,
+        which the compiled index plans address — go through ``base``.
+        The one-sided execution tier uses this to home the destination
+        array inside an RMA window's shared payload, so remote puts land
+        directly in final storage.
+        """
+        base = np.asarray(base)
+        if base.ndim != 1 or base.size != self._base.size:
+            raise DistributionError(
+                f"rebase buffer has shape {base.shape}, need a flat buffer "
+                f"of {self._base.size} elements")
+        if base.dtype != self._base.dtype:
+            raise DistributionError(
+                f"rebase buffer dtype {base.dtype} != array dtype "
+                f"{self._base.dtype}")
+        np.copyto(base, self._base)
+        self._base = base
+        self.patches = self._bind_patches(
+            sorted(self.patches, key=lambda r: r.lo))
+
     def flat_local(self) -> np.ndarray:
         """The consolidated 1-D local buffer: owned patches sorted by
         ``region.lo``, each row-major.  A *view* — writes go straight

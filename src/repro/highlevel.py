@@ -84,16 +84,29 @@ class Channel:
     lands straight in ``channel.array``'s consolidated local base.
     ``pool_stats`` exposes the pool counters (producer side; all zeros
     on the consumer, which needs no staging at all).
+
+    ``one_sided=True`` requests the RMA execution tier (both sides must
+    agree; ``one_sided=None`` follows ``REPRO_RMA``): on the procs
+    backend the consumer's array lives inside a shared RMA window and
+    each ``push`` writes directly into it, synchronized by exposure
+    epochs instead of message matching.  Note the coupling this buys
+    its speed with: an RMA ``push`` waits for the consumer's matching
+    ``pull`` epoch, so producer and consumer proceed in lockstep —
+    two programs that each push before pulling the reverse channel
+    must stay two-sided (or pre-arm) to avoid a cycle.
     """
 
     def __init__(self, inter: Intercommunicator, role: str,
-                 schedule, darray: DistributedArray):
+                 schedule, darray: DistributedArray,
+                 one_sided: bool | None = None):
         self._inter = inter
         self._role = role
         self._schedule = schedule
         self._darray = darray
         self.pool = BufferPool()
         self._engine = None
+        self._mode = (None if one_sided is None
+                      else ("rma" if one_sided else "two_sided"))
         self.transfers = 0
 
     def push(self) -> None:
@@ -102,7 +115,8 @@ class Channel:
             raise ConnectionError_("push() is for the publishing side")
         if self._engine is None:
             self._engine = self._schedule.persistent_sender(
-                self._inter, self._darray, tag=_DATA_TAG, pool=self.pool)
+                self._inter, self._darray, tag=_DATA_TAG, pool=self.pool,
+                mode=self._mode)
         self._engine.step()
         self.transfers += 1
 
@@ -112,10 +126,22 @@ class Channel:
             raise ConnectionError_("pull() is for the subscribing side")
         if self._engine is None:
             self._engine = self._schedule.persistent_receiver(
-                self._inter, self._darray, tag=_DATA_TAG)
+                self._inter, self._darray, tag=_DATA_TAG, mode=self._mode)
         self._engine.step()
         self.transfers += 1
         return self._darray
+
+    @property
+    def mode(self) -> str | None:
+        """The engine's resolved execution mode (``None`` before the
+        first transfer constructs it)."""
+        return self._engine.mode if self._engine is not None else None
+
+    def close(self) -> None:
+        """Release engine resources (RMA windows).  Idempotent; safe on
+        channels that never transferred."""
+        if self._engine is not None and hasattr(self._engine, "close"):
+            self._engine.close()
 
     @property
     def array(self) -> DistributedArray:
@@ -178,12 +204,16 @@ class Coupler:
     # -- persistent ------------------------------------------------------------------
 
     def open(self, comm: Communicator, role: str,
-             darray_or_layout) -> Channel:
+             darray_or_layout, *, one_sided: bool | None = None) -> Channel:
         """Open a persistent channel.
 
         Producer: ``open(comm, "source", darray)``.
         Consumer: ``open(comm, "destination", layout_descriptor)`` —
         the local array is allocated for you (``channel.array``).
+
+        ``one_sided=True`` requests the RMA execution tier (pass it on
+        **both** sides; see :class:`Channel`); ``None`` defers to the
+        ``REPRO_RMA`` environment variable.
         """
         if role == "source":
             darray = darray_or_layout
@@ -195,4 +225,4 @@ class Coupler:
         else:
             raise ConnectionError_(
                 f"role must be 'source' or 'destination', got {role!r}")
-        return Channel(inter, role, sched, darray)
+        return Channel(inter, role, sched, darray, one_sided=one_sided)

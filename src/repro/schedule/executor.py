@@ -47,6 +47,7 @@ Three deployment shapes are supported:
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 import numpy as np
@@ -59,10 +60,37 @@ from repro.schedule.plan import CommSchedule, LinearSchedule
 from repro.simmpi import payload
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator
+from repro.util.counters import TRANSPORT_STATS
 from repro.verify.hook import maybe_verify_side
 
 #: Default tag for schedule-driven data messages.
 TRANSFER_TAG = 64
+
+#: Execution modes of the persistent engines.
+MODES = ("two_sided", "rma")
+
+
+def resolve_mode(mode: str | None, inter: Intercommunicator) -> str:
+    """Normalize a persistent-engine mode selection.
+
+    Explicit argument > ``REPRO_RMA=1`` environment > two-sided.  RMA
+    needs ranks that can attach each other's shared windows; on a
+    transport that cannot (the threads backend) the engines fall back
+    to two-sided transparently (counted as ``rma_fallbacks``).  Both
+    jobs of a coupled run resolve identically: the backend is
+    domain-wide and the environment is inherited across fork, so the
+    only way to diverge is passing *different explicit modes* on the
+    two sides — which the RMA bootstrap handshake then rejects.
+    """
+    if mode is None:
+        mode = "rma" if os.environ.get("REPRO_RMA") == "1" else "two_sided"
+    if mode not in MODES:
+        raise ValueError(f"unknown persistent mode {mode!r}; "
+                         f"expected one of {MODES}")
+    if mode == "rma" and not inter.local_comm.job.transport.rma_capable:
+        TRANSPORT_STATS.add("rma_fallbacks")
+        return "two_sided"
+    return mode
 
 
 def _wire_payload(pp, flat: np.ndarray):
@@ -292,13 +320,23 @@ class PersistentSender:
     buffer shipped with move semantics (OwnedBuffer) whose release
     returns the buffer to the pool.  In steady state the pool performs
     zero allocations; ``pool.stats`` proves it.
+
+    ``mode="rma"`` (or ``REPRO_RMA=1``) selects the **one-sided tier**
+    on an RMA-capable transport (procs backend): construction receives
+    one :class:`~repro.simmpi.rma.WindowHandle` per pair from the peer
+    and attaches its window; each step then waits for the peer's
+    exposure epoch, scatters the pair's bytes *directly into the remote
+    window* (a single cross-process copy on the slice fast paths — no
+    slot ring, no envelope, no matching) and commits.  On transports
+    without RMA support the mode falls back to two-sided transparently.
     """
 
     def __init__(self, schedule: CommSchedule, inter: Intercommunicator,
                  array: DistributedArray, *, tag: int = TRANSFER_TAG,
                  rank: int | None = None,
                  peer_map: list[int] | None = None,
-                 pool: BufferPool | None = None):
+                 pool: BufferPool | None = None,
+                 mode: str | None = None):
         me = rank if rank is not None else inter.rank
         self._inter = inter
         self._tag = tag
@@ -312,12 +350,32 @@ class PersistentSender:
         self._plan = schedule.send_plan(
             me, array.descriptor.local_regions(me))
         self.pool = pool if pool is not None else BufferPool()
+        self.mode = resolve_mode(mode, inter)
+        self._rwins: list | None = None
+        self._epoch = 0
+        if self.mode == "rma" and self._plan.pairs:
+            from repro.simmpi import rma
+            mailbox = inter._my_mailbox()
+            # Bootstrap: one WindowHandle per pair, shipped by the
+            # receiver over the ordinary two-sided channel.  The data
+            # tag is free for this — in RMA mode no data message ever
+            # travels on it again.
+            self._rwins = [
+                rma.RemoteWindow(
+                    rma.check_handle(
+                        inter.recv(source=self._peer(pp.peer),
+                                   tag=self._tag),
+                        pp.size),
+                    mailbox)
+                for pp in self._plan.pairs]
 
     def _peer(self, r: int) -> int:
         return self._peer_map[r] if self._peer_map is not None else r
 
     def step(self) -> int:
         """Send the current local array contents; returns elements sent."""
+        if self.mode == "rma":
+            return self._step_rma()
         flat = self._array.flat_local()
         moved = 0
         for pp in self._plan.pairs:
@@ -332,6 +390,33 @@ class PersistentSender:
             moved += pp.size
         return moved
 
+    def _step_rma(self) -> int:
+        """One one-sided step: wait for each peer's exposure epoch, put
+        straight into its window, commit.  Slice pairs go view -> remote
+        scatter (one copy, zero staging); index pairs gather into a
+        pooled buffer first (zero steady-state allocations)."""
+        self._epoch += 1
+        flat = self._array.flat_local()
+        moved = 0
+        for pp, rwin in zip(self._plan.pairs, self._rwins or ()):
+            rwin.wait_open(self._epoch)
+            if pp.idx is None:
+                moved += rwin.put(pp.gather(flat))
+            else:
+                buf, release = self.pool.loan(
+                    ("send", self._me, pp.peer), pp.size, self._dtype)
+                pp.gather_into(flat, buf)
+                moved += rwin.put(buf)
+                release()
+            rwin.commit(self._epoch)
+        return moved
+
+    def close(self) -> None:
+        """Detach any attached remote windows (the engine is done)."""
+        for rwin in self._rwins or ():
+            rwin.close()
+        self._rwins = []
+
 
 class PersistentReceiver:
     """Destination half of a persistent channel over an intercommunicator.
@@ -345,12 +430,23 @@ class PersistentReceiver:
     arming happens *inside* the blocking receive call, so a producer
     running ahead of the consumer falls back to snapshot buffering and
     the consumer's view of its own array never changes outside a pull.
+
+    ``mode="rma"`` (or ``REPRO_RMA=1``) selects the **one-sided tier**
+    on an RMA-capable transport (procs backend): construction exposes
+    the destination array's consolidated base as an RMA window
+    (:class:`~repro.simmpi.rma.ExposedWindow`), *rebases* the array into
+    the window payload so remote puts land in final storage, and ships
+    each sender its :class:`~repro.simmpi.rma.WindowHandle` (segment
+    name + this pair's scatter plan).  :meth:`arm` then opens an
+    exposure epoch and :meth:`complete` fences it — one fence amortized
+    over all pairs replaces per-message rendezvous.
     """
 
     def __init__(self, schedule: CommSchedule, inter: Intercommunicator,
                  array: DistributedArray, *, tag: int = TRANSFER_TAG,
                  rank: int | None = None,
-                 peer_map: list[int] | None = None):
+                 peer_map: list[int] | None = None,
+                 mode: str | None = None):
         me = rank if rank is not None else inter.rank
         self._inter = inter
         self._tag = tag
@@ -360,6 +456,19 @@ class PersistentReceiver:
         self._plan = schedule.recv_plan(
             me, array.descriptor.local_regions(me))
         self._slots: list | None = None
+        self.mode = resolve_mode(mode, inter)
+        self._win = None
+        self._rma_armed = False
+        if self.mode == "rma" and self._plan.pairs:
+            from repro.simmpi import rma
+            flat = array.flat_local()
+            self._win = rma.ExposedWindow(
+                flat.nbytes, flat.dtype, len(self._plan.pairs),
+                inter._my_mailbox())
+            array.rebase(self._win.buffer)
+            for i, pp in enumerate(self._plan.pairs):
+                self._inter.send(self._win.handle(i, pp),
+                                 dest=self._peer(pp.peer), tag=self._tag)
 
     def _peer(self, r: int) -> int:
         return self._peer_map[r] if self._peer_map is not None else r
@@ -371,7 +480,17 @@ class PersistentReceiver:
     def arm(self) -> None:
         """Prepost every pair's recv-into-destination slot.  Queued
         messages are consumed immediately (FIFO-safe); later sends
-        write straight into the destination array."""
+        write straight into the destination array.
+
+        In RMA mode this opens the next exposure epoch instead: from
+        here until :meth:`complete`'s fence returns, senders may write
+        into the window (= the destination array's storage)."""
+        if self.mode == "rma":
+            if not self._rma_armed:
+                if self._win is not None:
+                    self._win.epoch_open()
+                self._rma_armed = True
+            return
         if self._slots is not None:
             return
         self._slots = [
@@ -382,7 +501,17 @@ class PersistentReceiver:
 
     def complete(self, *, timeout: float | None = None) -> int:
         """Block until all armed slots have fired; returns elements
-        received.  Arms first if needed."""
+        received.  Arms first if needed.
+
+        In RMA mode: fence the open epoch — block until every writer
+        has committed its puts for this step.  After the fence the
+        destination array holds the step's data (it *is* the window)."""
+        if self.mode == "rma":
+            self.arm()
+            self._rma_armed = False
+            if self._win is not None:
+                self._win.fence(timeout=timeout)
+            return self._plan.element_count
         self.arm()
         slots, self._slots = self._slots, None
         return sum(slot.wait(timeout) for slot in slots)
@@ -390,3 +519,17 @@ class PersistentReceiver:
     def step(self) -> int:
         """One pull: arm (unless pre-armed) and complete."""
         return self.complete()
+
+    def close(self) -> None:
+        """Tear down the exposed window, if any (the engine is done).
+
+        The destination array is first evacuated back onto a private
+        heap buffer (a :meth:`~repro.dad.darray.DistributedArray.rebase`
+        with the last fenced contents), so after ``close`` it is an
+        ordinary array again — no remote writes can reach it and its
+        lifetime no longer pins the window mapping."""
+        if self._win is not None:
+            win, self._win = self._win, None
+            flat = self._array.flat_local()
+            self._array.rebase(np.empty(flat.size, dtype=flat.dtype))
+            win.close()

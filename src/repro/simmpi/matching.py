@@ -98,6 +98,16 @@ class AbortFlag:
     def is_set(self) -> bool:
         return self._event.is_set()
 
+    def wait(self, timeout: float) -> bool:
+        """Sleep up to ``timeout`` seconds, waking early on abort.
+
+        The backoff primitive for cross-process RMA epoch waits
+        (:mod:`repro.simmpi.rma`): there is no condition variable
+        spanning the window's processes, so waiters poll the shared
+        counter — but they sleep on the abort event, keeping the wait
+        abort-responsive without a bare ``time.sleep`` loop."""
+        return self._event.wait(timeout)
+
 
 class PrepostSlot:
     """One armed preposted receive (recv-into-destination).
@@ -159,6 +169,25 @@ class Mailbox:
         self._block_state = block_state or (lambda rank, desc: None)
         abort.subscribe(self._cond)
 
+    # -- watchdog plumbing for non-mailbox waits (RMA epoch spins) ---------
+
+    @property
+    def abort(self) -> AbortFlag:
+        """The job-wide abort flag this mailbox subscribes to."""
+        return self._abort
+
+    def set_block_desc(self, desc: str | None) -> None:
+        """Record (or clear, with ``None``) what this rank is blocked on
+        — the same watchdog channel mailbox waits use, exposed so
+        one-sided epoch waits (:mod:`repro.simmpi.rma`) are visible in
+        deadlock dumps too."""
+        self._block_state(self.rank, desc)
+
+    def note_progress(self) -> None:
+        """Bump the job's progress counter for work done outside the
+        mailbox (a completed RMA fence or epoch wait)."""
+        self._progress()
+
     # -- sending ----------------------------------------------------------
 
     def deliver(self, env: Envelope, live=None) -> None:
@@ -179,6 +208,7 @@ class Mailbox:
                     env.release()
                 TRANSPORT_STATS.add("direct_deliveries")
                 TRANSPORT_STATS.add("direct_bytes", env.nbytes)
+                TRANSPORT_STATS.add("messages_matched")
                 self._progress()
                 self._cond.notify_all()
                 return
@@ -235,6 +265,7 @@ class Mailbox:
                 slot._complete(env.payload)
                 if env.release is not None:
                     env.release()
+                TRANSPORT_STATS.add("messages_matched")
                 self._progress()
             else:
                 self._slots.append(slot)
@@ -248,12 +279,19 @@ class Mailbox:
             threading.TIMEOUT_MAX if timeout <= 0 else timeout)
         start = time.monotonic()
         self._block_state(self.rank, desc)
+        blocked = False
         try:
             with self._cond:
                 while True:
                     if slot.done:
                         self._progress()
                         return slot.result
+                    if not blocked:
+                        # the message is not here yet: this receive pays
+                        # a real rendezvous wait (two-sided overhead the
+                        # one-sided tier is designed to remove)
+                        TRANSPORT_STATS.add("rendezvous_waits")
+                        blocked = True
                     if self._abort.is_set():
                         raise DeadlockError(
                             f"rank {self.rank} aborted while blocked in {desc}: "
@@ -287,14 +325,19 @@ class Mailbox:
             threading.TIMEOUT_MAX if timeout <= 0 else timeout)
         start = time.monotonic()
         self._block_state(self.rank, desc)
+        blocked = False
         try:
             with self._cond:
                 while True:
                     idx = self._find(context, source, tag)
                     if idx is not None:
                         env = self._messages.pop(idx)
+                        TRANSPORT_STATS.add("messages_matched")
                         self._progress()
                         return env
+                    if not blocked:
+                        TRANSPORT_STATS.add("rendezvous_waits")
+                        blocked = True
                     if self._abort.is_set():
                         raise DeadlockError(
                             f"rank {self.rank} aborted while blocked in {desc}: "

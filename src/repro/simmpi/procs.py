@@ -145,6 +145,7 @@ class ProcTransport(Transport):
 
     backend = "procs"
     isolating = False
+    rma_capable = True
 
     def __init__(self, runtime: "ProcRuntime", abort,
                  progress: Callable[[], None],

@@ -1,0 +1,241 @@
+"""One-sided RMA verbs for persistent channels (procs backend).
+
+The two-sided persistent engines pay mailbox rendezvous on every
+replayed step: slot acquire, envelope match, prepost scatter.  But a
+compiled :class:`~repro.schedule.indexplan.PairPlan` already tells each
+sender *exactly where in the receiver's flat buffer* its bytes land —
+so once the receiver exposes that buffer as an RMA *window*
+(:class:`~repro.simmpi.shm.WindowSegment`), the sender can execute the
+receiver's scatter plan **directly into remote memory**: the strided or
+contiguous fast path becomes a single cross-process copy with no slot
+ring, no envelope, and no per-message matching.  Per-epoch fences
+replace rendezvous, so one fence amortizes over all pairs in a step.
+
+Protocol (MPI post-start-complete-wait flavour, one window per
+receiving rank):
+
+* **Bootstrap** (once, over the ordinary two-sided channel): the
+  receiver creates its window, moves its destination array's storage
+  into the window payload, and ships each sender a
+  :class:`WindowHandle` — segment name, geometry, the sender's
+  ``done``-counter slot, and the receiver-side scatter plan for that
+  pair.
+* **epoch_open** (receiver, per step): store ``epoch = k``.  This is
+  the exposure epoch — remote writes are now licensed.
+* **wait_open + put + commit** (sender, per step): spin until
+  ``epoch >= k`` (abort-aware, watchdog-visible), scatter the pair's
+  bytes straight into the window payload, then store ``done[i] = k``
+  to publish them.
+* **fence** (receiver, per step): spin until ``min(done) >= k``.  The
+  destination array *is* the window payload, so after the fence the
+  step's data is simply there.
+
+Seqlock-style torn-read safety: the receiver only reads its array
+between ``fence(k)`` and ``epoch_open(k+1)``, and no sender writes in
+that span (each is spinning on ``epoch >= k+1``) — so a reader
+observes generation ``k`` in full, never a mix.
+
+The spin waits have no cross-process condition variable to sleep on;
+they back off on the job's :meth:`~repro.simmpi.matching.AbortFlag.
+wait` (waking immediately on abort) and register a blocked-state
+description so the deadlock watchdog sees RMA waits exactly like
+mailbox waits.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeadlockError, ScheduleError
+from repro.schedule.indexplan import PairPlan
+from repro.simmpi.matching import Mailbox
+from repro.simmpi.shm import WindowSegment
+from repro.util.counters import TRANSPORT_STATS
+
+__all__ = ["WindowHandle", "ExposedWindow", "RemoteWindow"]
+
+#: Backoff between shared-counter polls in epoch waits.  Short enough
+#: that a steady-state step never stalls measurably, long enough that a
+#: blocked rank does not burn a core.
+RMA_POLL = 0.0002
+
+
+@dataclass(frozen=True)
+class WindowHandle:
+    """Picklable bootstrap ticket: everything one sender needs to attach
+    a receiver's window and write its pair directly.
+
+    Shipped receiver -> sender exactly once over the ordinary two-sided
+    channel when the persistent engines are constructed; after that the
+    channel's data plane never touches the mailbox again.
+    """
+
+    name: str          #: shared-memory segment name
+    nbytes: int        #: payload size (the receiver's flat buffer)
+    dtype: str         #: element dtype (numpy dtype string)
+    nwriters: int      #: total writers on this window
+    writer: int        #: this sender's done-counter slot
+    plan: PairPlan     #: receiver-side scatter plan for this pair
+
+
+def _close_owner(seg: WindowSegment) -> None:
+    seg.close()
+    seg.unlink()
+
+
+def _close_writer(seg: WindowSegment) -> None:
+    seg.close()
+
+
+class ExposedWindow:
+    """Receiver side: one rank's destination buffer exposed for remote
+    writes, plus the epoch verbs that sequence them."""
+
+    def __init__(self, nbytes: int, dtype, nwriters: int,
+                 mailbox: Mailbox):
+        self._seg = WindowSegment(nbytes, nwriters)
+        #: Typed flat view of the window payload — the new home of the
+        #: destination array's consolidated base buffer.
+        self.buffer = self._seg.data.view(np.dtype(dtype))
+        self._mailbox = mailbox
+        self._epoch = 0
+        self._finalizer = weakref.finalize(self, _close_owner, self._seg)
+
+    @property
+    def name(self) -> str:
+        return self._seg.name
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def handle(self, writer: int, plan: PairPlan) -> WindowHandle:
+        """The bootstrap ticket for writer slot ``writer``."""
+        return WindowHandle(self._seg.name, self._seg.nbytes,
+                            np.dtype(self.buffer.dtype).str,
+                            self._seg.nwriters, writer, plan)
+
+    def epoch_open(self) -> int:
+        """Open the next exposure epoch: remote writes are licensed
+        until the matching :meth:`fence` completes."""
+        self._epoch += 1
+        self._seg.set_epoch(self._epoch)
+        return self._epoch
+
+    def fence(self, *, timeout: float | None = None) -> None:
+        """Block until every writer has committed the current epoch.
+
+        After this returns the window payload holds generation
+        ``epoch`` in full; the receiver may read it until the next
+        :meth:`epoch_open`.
+        """
+        k = self._epoch
+        seg = self._seg
+        if seg.min_done() >= k:
+            TRANSPORT_STATS.add("rma_fences")
+            return
+        desc = f"rma_fence(window={seg.name}, epoch={k})"
+        abort = self._mailbox.abort
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._mailbox.set_block_desc(desc)
+        try:
+            while seg.min_done() < k:
+                if abort.is_set():
+                    raise DeadlockError(
+                        f"rank {self._mailbox.rank} aborted while blocked "
+                        f"in {desc}: {abort.reason}",
+                        blocked=abort.blocked_dump)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"rank {self._mailbox.rank}: {desc} timed out")
+                abort.wait(RMA_POLL)
+        finally:
+            self._mailbox.set_block_desc(None)
+        TRANSPORT_STATS.add("rma_fences")
+        self._mailbox.note_progress()
+
+    def close(self) -> None:
+        """Tear the window down (close + unlink; owner side)."""
+        self._finalizer()
+
+
+class RemoteWindow:
+    """Sender side: an attached peer window plus the put/commit verbs
+    that execute the receiver's scatter plan into it."""
+
+    def __init__(self, handle: WindowHandle, mailbox: Mailbox):
+        self._seg = WindowSegment.attach(handle.name, handle.nbytes,
+                                         handle.nwriters)
+        self.buffer = self._seg.data.view(np.dtype(handle.dtype))
+        self._plan = handle.plan
+        self._writer = handle.writer
+        self._mailbox = mailbox
+        self._finalizer = weakref.finalize(self, _close_writer, self._seg)
+
+    @property
+    def plan(self) -> PairPlan:
+        return self._plan
+
+    def wait_open(self, epoch: int, *, timeout: float | None = None) -> None:
+        """Spin until the owner has opened exposure epoch ``epoch``."""
+        seg = self._seg
+        if seg.epoch() >= epoch:
+            return
+        TRANSPORT_STATS.add("rma_epoch_waits")
+        desc = f"rma_put(window={seg.name}, epoch={epoch})"
+        abort = self._mailbox.abort
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._mailbox.set_block_desc(desc)
+        try:
+            while seg.epoch() < epoch:
+                if abort.is_set():
+                    raise DeadlockError(
+                        f"rank {self._mailbox.rank} aborted while blocked "
+                        f"in {desc}: {abort.reason}",
+                        blocked=abort.blocked_dump)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"rank {self._mailbox.rank}: {desc} timed out")
+                abort.wait(RMA_POLL)
+        finally:
+            self._mailbox.set_block_desc(None)
+        self._mailbox.note_progress()
+
+    def put(self, values: np.ndarray) -> int:
+        """Scatter one packed pair buffer straight into the remote
+        window via the receiver's compiled plan.  Returns the element
+        count.  Must only run inside an open exposure epoch
+        (:meth:`wait_open`)."""
+        n = self._plan.scatter(self.buffer, values)
+        TRANSPORT_STATS.add("rma_puts")
+        TRANSPORT_STATS.add("rma_put_bytes", n * self.buffer.itemsize)
+        return n
+
+    def commit(self, epoch: int) -> None:
+        """Publish this writer's puts for ``epoch`` (store the done
+        counter the owner's fence spins on)."""
+        self._seg.set_done(self._writer, epoch)
+
+    def close(self) -> None:
+        """Detach from the window (close only; the owner unlinks)."""
+        self._finalizer()
+
+
+def check_handle(handle: WindowHandle, expected_size: int) -> WindowHandle:
+    """Validate a bootstrap ticket against the sender's own pair plan:
+    both sides compiled the same schedule, so the element counts must
+    agree — a mismatch means the jobs disagree on mode or schedule."""
+    if not isinstance(handle, WindowHandle):
+        raise ScheduleError(
+            f"RMA bootstrap expected a WindowHandle, got "
+            f"{type(handle).__name__} — peer is not in one-sided mode?")
+    if handle.plan.size != expected_size:
+        raise ScheduleError(
+            f"RMA bootstrap plan covers {handle.plan.size} elements, "
+            f"sender's pair expects {expected_size} — schedule mismatch")
+    return handle

@@ -38,6 +38,7 @@ Wire format of one control message (pickled by the queue):
 
 from __future__ import annotations
 
+import os
 import pickle
 from multiprocessing import shared_memory
 from typing import Any, Optional
@@ -46,7 +47,8 @@ import numpy as np
 
 from repro.util.counters import Counters
 
-__all__ = ["SegmentPool", "SharedState", "encode_payload", "decode_payload"]
+__all__ = ["SegmentPool", "SharedState", "WindowSegment",
+           "encode_payload", "decode_payload"]
 
 # control-message verbs
 MSG = "MSG"
@@ -60,10 +62,30 @@ BYTES = "by"
 PICKLE = "pk"
 OBJ = "ob"
 
+
+def _inline_max_from_env(default: int = 2048) -> int:
+    """Resolve ``REPRO_SHM_INLINE_MAX`` (bytes, >= 0) or ``default``."""
+    raw = os.environ.get("REPRO_SHM_INLINE_MAX")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SHM_INLINE_MAX must be an integer byte count, "
+            f"got {raw!r}") from None
+    if value < 0:
+        raise ValueError(
+            f"REPRO_SHM_INLINE_MAX must be >= 0, got {value}")
+    return value
+
+
 #: Payloads at most this many bytes ride inline in the control message
 #: even when a slot is free — a pipe write beats a slot round-trip for
 #: tiny protocol traffic (barrier tokens, handshakes, scalar reduces).
-INLINE_MAX = 2048
+#: Override with ``REPRO_SHM_INLINE_MAX`` (bytes; 0 disables inlining
+#: of anything but slot-ring overflow).
+INLINE_MAX = _inline_max_from_env()
 
 _FREE = 0
 _BUSY = 1
@@ -120,6 +142,11 @@ class SegmentPool:
 
     def slot_view(self, slot: int, nbytes: int) -> np.ndarray:
         """A uint8 view of the first ``nbytes`` of ``slot``'s payload."""
+        if nbytes > self.slot_bytes:
+            raise ValueError(
+                f"payload of {nbytes} bytes does not fit in a "
+                f"{self.slot_bytes}-byte slot — raise slot_bytes or ship "
+                f"the payload inline")
         off = self._data_off + slot * self.slot_bytes
         return np.ndarray(nbytes, dtype=np.uint8,
                           buffer=self._shm.buf, offset=off)
@@ -138,6 +165,139 @@ class SegmentPool:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - double teardown
             pass
+
+
+# -- one-sided RMA windows ---------------------------------------------------
+
+
+class WindowSegment:
+    """One rank's RMA window: its persistent-channel destination buffer
+    exposed in a dedicated shared segment, plus the epoch header that
+    replaces per-message rendezvous.
+
+    Layout::
+
+        epoch    u64            # generation counter, owner-written
+        nwriters u64            # sanity field, fixed at creation
+        done     u64[nwriters]  # per-writer commit counters
+        <pad to 64 bytes>
+        payload  u8[nbytes]     # the owner's flat recv buffer
+
+    Seqlock-style protocol: the owner opens exposure epoch ``k`` by
+    storing ``epoch = k``; writer ``i`` spins until ``epoch >= k``,
+    scatters its bytes straight into the payload area, then stores
+    ``done[i] = k``; the owner's fence spins until ``min(done) >= k``.
+    Every field has exactly one writer (epoch: owner; ``done[i]``:
+    writer ``i``), all counters are aligned 8-byte stores, and the GIL's
+    acquire/release semantics plus x86-TSO ordering make the payload
+    writes visible before the ``done`` store that publishes them — the
+    same single-writer discipline as :class:`SharedState`.
+
+    The owner creates the segment and is responsible for ``unlink``;
+    writers attach by name and only ever ``close``.
+
+    ``close`` deliberately does **not** unmap.  NumPy releases its
+    ``Py_buffer`` on ``shm.buf`` as soon as a view's data pointer is
+    captured (keeping only an object reference), so
+    ``SharedMemory.close()`` sees zero exports and happily munmaps pages
+    that application arrays — a :meth:`~repro.dad.darray.
+    DistributedArray.rebase`-d destination array lives *inside* the
+    payload — still address; the next read is a segfault.  ``close``
+    therefore only drops this object's header views and parks the
+    mapping in a module-level list; the pages are reclaimed at process
+    exit (windows are per-channel, so the residue is bounded by the
+    handful of channels a rank ever opens, not by traffic).
+    """
+
+    _HDR_ALIGN = 64
+
+    def __init__(self, nbytes: int, nwriters: int, *,
+                 _attach_name: Optional[str] = None):
+        if nbytes <= 0 or nwriters <= 0:
+            raise ValueError("window needs nbytes > 0 and nwriters > 0")
+        self.nbytes = int(nbytes)
+        self.nwriters = int(nwriters)
+        hdr = 8 + 8 + 8 * self.nwriters
+        self._data_off = (hdr + self._HDR_ALIGN - 1) & ~(self._HDR_ALIGN - 1)
+        size = self._data_off + self.nbytes
+        self.owner = _attach_name is None
+        if self.owner:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+        else:
+            # NOTE: attaching registers the name with the resource
+            # tracker again.  That is fine here: procs ranks fork from
+            # the supervisor, so every process shares ONE tracker whose
+            # name cache is a set — the duplicate register is idempotent
+            # and the owner's unlink clears the single entry.
+            self._shm = shared_memory.SharedMemory(name=_attach_name)
+            if self._shm.size < size:
+                raise ValueError(
+                    f"window segment {_attach_name!r} is {self._shm.size} "
+                    f"bytes, need {size} — geometry mismatch with owner")
+        buf = self._shm.buf
+        self._epoch = np.ndarray(1, dtype=np.uint64, buffer=buf)
+        self._nwriters = np.ndarray(1, dtype=np.uint64, buffer=buf, offset=8)
+        self._done = np.ndarray(self.nwriters, dtype=np.uint64,
+                                buffer=buf, offset=16)
+        self.data = np.ndarray(self.nbytes, dtype=np.uint8,
+                               buffer=buf, offset=self._data_off)
+        if self.owner:
+            self._epoch[0] = 0
+            self._nwriters[0] = self.nwriters
+            self._done[:] = 0
+        elif int(self._nwriters[0]) != self.nwriters:
+            raise ValueError(
+                f"window segment {_attach_name!r} has "
+                f"{int(self._nwriters[0])} writers, expected {self.nwriters}")
+
+    @classmethod
+    def attach(cls, name: str, nbytes: int, nwriters: int) -> "WindowSegment":
+        """Map an existing window by segment name (writer side)."""
+        return cls(nbytes, nwriters, _attach_name=name)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # -- epoch header (single writer per field) ------------------------------
+
+    def epoch(self) -> int:
+        return int(self._epoch[0])
+
+    def set_epoch(self, value: int) -> None:
+        self._epoch[0] = np.uint64(value)
+
+    def done(self, writer: int) -> int:
+        return int(self._done[writer])
+
+    def set_done(self, writer: int, value: int) -> None:
+        self._done[writer] = np.uint64(value)
+
+    def min_done(self) -> int:
+        return int(self._done.min())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the header views and retire the mapping (see the class
+        docstring for why the pages stay mapped until process exit)."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        self._epoch = self._nwriters = self._done = self.data = None
+        _RETIRED_WINDOW_MAPPINGS.append(self._shm)
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double teardown
+            pass
+
+
+#: Mappings of closed windows, kept alive so ``SharedMemory.__del__``
+#: cannot munmap pages that rebased arrays still view (see
+#: :meth:`WindowSegment.close`).  Reclaimed at process exit.
+_RETIRED_WINDOW_MAPPINGS: list = []
 
 
 # -- watchdog state ----------------------------------------------------------

@@ -70,6 +70,12 @@ class Transport:
     backend = "?"
     #: Whether plain payloads must be isolated before :meth:`deliver`.
     isolating = True
+    #: Whether ranks can expose/attach shared-memory RMA windows
+    #: (:mod:`repro.simmpi.rma`).  Only the procs backend can: its ranks
+    #: are processes that attach each other's window segments by name.
+    #: The persistent engines fall back to two-sided transparently when
+    #: this is False.
+    rma_capable = False
 
     def mailbox(self, job_rank: int) -> Mailbox:
         """The local mailbox of ``job_rank`` (receive side).
@@ -91,6 +97,7 @@ class ThreadTransport(Transport):
 
     backend = "threads"
     isolating = True
+    rma_capable = False
 
     def __init__(self, n: int, abort: AbortFlag,
                  progress: Optional[Callable[[], None]] = None,

@@ -43,4 +43,15 @@ class Counters:
 #: than in :mod:`repro.simmpi.payload` users' modules to avoid import
 #: cycles between the payload, matching and schedule layers; reset it
 #: around a measured section to get per-section deltas.
+#:
+#: Two-sided matching cost (:mod:`repro.simmpi.matching`):
+#: ``messages_matched`` counts every envelope consumed by a receiver
+#: (queue match, prepost drain, or direct slot completion) and
+#: ``rendezvous_waits`` every receive that actually blocked waiting for
+#: its sender.  One-sided cost (:mod:`repro.simmpi.rma`): ``rma_puts`` /
+#: ``rma_put_bytes`` count remote-window writes, ``rma_fences``
+#: completed exposure epochs, and ``rma_epoch_waits`` put-side spins on
+#: a not-yet-open epoch.  A persistent channel in RMA mode should show
+#: zero matched messages per steady-state step — that delta is the A9
+#: benchmark's headline metric.
 TRANSPORT_STATS = Counters()

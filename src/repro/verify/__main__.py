@@ -100,6 +100,7 @@ def _commgraph_cases():
     from repro.verify.commgraph import (
         CommProgram,
         fig5_model,
+        rma_channel_model,
         transfer_model,
     )
 
@@ -137,6 +138,39 @@ def _commgraph_cases():
         ("transfer-cyclic", transfer_model(cyclic), False),
         ("coupler-exchange", exchange, False),
         ("pull-before-push", head_to_head, True),
+        # One-sided tier: a well-ordered RMA channel is clean; the
+        # put-before-token misuse trips the epoch cycle the runtime
+        # watchdog would report as rma_put/recv stalls (see
+        # tests/simmpi/test_procs_backend.py for the live twin).
+        ("rma-channel", rma_channel_model(steps=3), False),
+        ("rma-epoch-misuse", rma_channel_model(misuse=True), True),
+    ]
+
+
+def _epoch_cases():
+    from repro.verify.commgraph import CommProgram, rma_channel_model
+
+    # Structurally broken one-sided programs: more puts than the owner
+    # ever licenses, and a read inside the open epoch (torn read).
+    unexposed = CommProgram()
+    w = unexposed.proc("prod", 0)
+    o = unexposed.proc("cons", 0)
+    win = unexposed.window(o, "field")
+    unexposed.put(w, win)
+
+    torn = CommProgram()
+    w2 = torn.proc("prod", 0)
+    o2 = torn.proc("cons", 0)
+    win2 = torn.window(o2, "field")
+    torn.epoch_open(win2)
+    torn.read(win2)
+    torn.fence(win2, (w2,))
+    torn.put(w2, win2)
+
+    return [
+        ("rma-channel", rma_channel_model(steps=3), 0),
+        ("rma-unexposed-put", unexposed, 1),
+        ("rma-torn-read", torn, 1),
     ]
 
 
@@ -161,6 +195,16 @@ def cmd_commgraph(_args) -> int:
             for cyc in diag.cycles:
                 print("      wait cycle: " + " -> ".join(cyc + cyc[:1]))
             print(f"      kind: {diag.kind}")
+    print("epoch-consistency (structural, one-sided tier)")
+    for name, program, expect in _epoch_cases():
+        violations = program.epoch_violations()
+        ok = len(violations) == expect
+        if not ok:
+            failures += 1
+        print(f"  {name:<22} {len(violations)} violation(s) "
+              f"(expected {expect})" + ("" if ok else "  MISMATCH"))
+        for v in violations:
+            print(f"      {v}")
     print("commgraph: " + ("FAIL" if failures else "OK"))
     return 1 if failures else 0
 

@@ -34,6 +34,23 @@ per communicating rank pair, exactly what the packed executors post);
 :meth:`CommProgram.channel_pair` models a ``Channel.push``/``pull``
 exchange so coupled Coupler scripts can be checked for pull-before-push
 cycles.
+
+The one-sided execution tier (:mod:`repro.simmpi.rma`) adds epoch
+synchronization: :class:`EpochOpenOp` (owner licenses remote writes),
+:class:`PutOp` (a writer's wait-for-epoch + scatter + commit — blocks
+until the owner has opened enough epochs), :class:`FenceOp` (the owner
+blocks until every writer committed the current epoch) and
+:class:`ReadOp` (the owner consumes its array — local, but subject to
+the structural epoch-consistency rule).  :meth:`CommProgram.
+epoch_violations` checks that rule statically: no put can target a
+window whose owner never opens an epoch (or opens fewer epochs than the
+writer puts), and no read may sit inside an open epoch (between
+``epoch_open`` and its ``fence`` — exactly the torn-read window the
+seqlock protocol exists to close).  :func:`rma_channel_model` builds
+the one-sided analogue of ``channel_pair`` so epoch-misuse deadlocks —
+e.g. two programs that each push before pulling the reverse channel —
+are caught before launch, mirroring the runtime watchdog's
+``rma_put``/``rma_fence`` blocked dumps.
 """
 
 from __future__ import annotations
@@ -48,12 +65,14 @@ from repro.schedule.plan import CommSchedule
 
 __all__ = [
     "Proc",
+    "Window",
     "CommProgram",
     "Diagnosis",
     "would_deadlock",
     "assert_deadlock_free",
     "transfer_model",
     "fig5_model",
+    "rma_channel_model",
 ]
 
 
@@ -118,6 +137,57 @@ class ServeOp:
     reaches it."""
 
 
+@dataclass(frozen=True)
+class Window:
+    """One rank's RMA window: the owner's exposed destination buffer
+    (:class:`~repro.simmpi.shm.WindowSegment` in the runtime)."""
+
+    owner: Proc
+    label: str = "win"
+
+    def __str__(self) -> str:
+        return f"{self.label}@{self.owner.key}"
+
+
+@dataclass(frozen=True)
+class EpochOpenOp:
+    """Owner opens the next exposure epoch — local, never blocks
+    (``ExposedWindow.epoch_open``)."""
+
+    window: Window
+
+
+@dataclass(frozen=True)
+class PutOp:
+    """A writer's one-sided step: spin until the owner's epoch counter
+    reaches this put's generation, scatter into the window, commit
+    (``RemoteWindow.wait_open`` + ``put`` + ``commit``).  The writer's
+    ``k``-th put on a window blocks until the owner has executed ``k``
+    :class:`EpochOpenOp`\\ s on it."""
+
+    window: Window
+
+
+@dataclass(frozen=True)
+class FenceOp:
+    """Owner blocks until every writer has committed the current epoch
+    (``ExposedWindow.fence``): its ``k``-th fence on a window needs
+    every writer's put count on that window to have reached ``k``."""
+
+    window: Window
+    writers: tuple[Proc, ...]
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Owner consumes its destination array — local and non-blocking,
+    recorded so :meth:`CommProgram.epoch_violations` can enforce the
+    seqlock rule: reads only between ``fence(k)`` and
+    ``epoch_open(k+1)``, never inside an open epoch."""
+
+    window: Window
+
+
 Op = object
 
 
@@ -179,6 +249,80 @@ class CommProgram:
         self.send(src, dst, tag)
         self.recv(dst, src, tag)
 
+    # -- one-sided (RMA) construction ---------------------------------------
+
+    def window(self, owner: Proc, label: str = "win") -> Window:
+        return Window(owner, label)
+
+    def epoch_open(self, win: Window) -> None:
+        self.add(win.owner, EpochOpenOp(win))
+
+    def put(self, writer: Proc, win: Window) -> None:
+        self.add(writer, PutOp(win))
+
+    def fence(self, win: Window, writers: Iterable[Proc]) -> None:
+        self.add(win.owner, FenceOp(win, tuple(writers)))
+
+    def read(self, win: Window) -> None:
+        self.add(win.owner, ReadOp(win))
+
+    def rma_channel(self, src: Proc, dst: Proc,
+                    label: str = "win") -> Window:
+        """Model one one-sided ``push``/``pull`` step pair: the consumer
+        opens an exposure epoch and fences (``pull``), the producer
+        puts (``push``).  Returns the window so multi-step or
+        multi-writer programs can keep appending to it."""
+        win = self.window(dst, label)
+        self.epoch_open(win)
+        self.fence(win, (src,))
+        self.put(src, win)
+        return win
+
+    # -- structural epoch-consistency ---------------------------------------
+
+    def epoch_violations(self) -> list[str]:
+        """Static epoch-consistency violations, independent of
+        interleaving:
+
+        * a put targeting a window whose owner opens fewer exposure
+          epochs than the writer issues puts (the surplus puts can
+          never be licensed — writes outside any open epoch);
+        * a read positioned inside an open epoch (after ``epoch_open``,
+          before the matching ``fence``) — the torn-read window.
+        """
+        out: list[str] = []
+        opens: dict[Window, int] = {}
+        for p, plist in self._ops.items():
+            for op in plist:
+                if isinstance(op, EpochOpenOp):
+                    opens[op.window] = opens.get(op.window, 0) + 1
+        for p, plist in sorted(self._ops.items()):
+            puts: dict[Window, int] = {}
+            for op in plist:
+                if isinstance(op, PutOp):
+                    puts[op.window] = puts.get(op.window, 0) + 1
+            for win, nputs in sorted(puts.items(), key=lambda kv: str(kv[0])):
+                nopen = opens.get(win, 0)
+                if nputs > nopen:
+                    out.append(
+                        f"{p.key}: {nputs} put(s) into {win} but its owner "
+                        f"opens only {nopen} exposure epoch(s) — "
+                        f"write outside an open epoch")
+        for p, plist in sorted(self._ops.items()):
+            depth: dict[Window, int] = {}
+            for i, op in enumerate(plist):
+                if isinstance(op, EpochOpenOp):
+                    depth[op.window] = depth.get(op.window, 0) + 1
+                elif isinstance(op, FenceOp):
+                    depth[op.window] = max(0, depth.get(op.window, 0) - 1)
+                elif isinstance(op, ReadOp):
+                    if depth.get(op.window, 0) > 0:
+                        out.append(
+                            f"{p.key}: read of {op.window} at op {i} is "
+                            f"inside an open exposure epoch (no fence "
+                            f"yet) — torn read")
+        return out
+
     # -- abstract execution --------------------------------------------------
 
     def _explore(self):
@@ -207,6 +351,11 @@ class CommProgram:
                            if isinstance(ops[frm][k], SendOp)
                            and ops[frm][k].dest == to
                            and ops[frm][k].tag == tag)
+
+            def executed(q, kind, win):
+                return sum(1 for k in range(pcs[q])
+                           if isinstance(ops[q][k], kind)
+                           and ops[q][k].window == win)
 
             consumed: dict[tuple, int] = {}
             for p in procs:
@@ -243,6 +392,22 @@ class CommProgram:
                            for m in op.members):
                         if p == min(op.members):
                             advance(list(op.members))
+                elif isinstance(op, (EpochOpenOp, ReadOp)):
+                    advance([p])
+                elif isinstance(op, PutOp):
+                    # the writer's k-th put needs the owner's k-th
+                    # exposure epoch open (RemoteWindow.wait_open)
+                    k = executed(p, PutOp, op.window) + 1
+                    if executed(op.window.owner, EpochOpenOp,
+                                op.window) >= k:
+                        advance([p])
+                elif isinstance(op, FenceOp):
+                    # the owner's k-th fence needs every writer's k-th
+                    # commit (ExposedWindow.fence on min(done))
+                    k = executed(p, FenceOp, op.window) + 1
+                    if all(executed(w, PutOp, op.window) >= k
+                           for w in op.writers):
+                        advance([p])
                 elif isinstance(op, CallOp):
                     if id(op) in done:
                         advance([p])
@@ -296,12 +461,37 @@ class CommProgram:
         blocked: dict[str, str] = {}
         graph = nx.DiGraph()
         collective_wait = False
+        rma_wait = False
+
+        def executed(q, kind, win):
+            return sum(1 for k in range(pcs[q])
+                       if isinstance(ops[q][k], kind)
+                       and ops[q][k].window == win)
+
         for p in sorted(pcs):
             if pcs[p] >= n[p]:
                 continue
             op = ops[p][pcs[p]]
             graph.add_node(p.key)
-            if isinstance(op, RecvOp):
+            if isinstance(op, PutOp):
+                rma_wait = True
+                k = executed(p, PutOp, op.window) + 1
+                blocked[p.key] = (
+                    f"rma_put(window={op.window}, epoch={k}) awaiting "
+                    f"exposure by {op.window.owner.key}")
+                graph.add_edge(p.key, op.window.owner.key)
+            elif isinstance(op, FenceOp):
+                rma_wait = True
+                k = executed(p, FenceOp, op.window) + 1
+                waiting = [w for w in op.writers
+                           if executed(w, PutOp, op.window) < k]
+                blocked[p.key] = (
+                    f"rma_fence(window={op.window}, epoch={k}) awaiting "
+                    f"commits from "
+                    + ", ".join(w.key for w in waiting))
+                for w in waiting:
+                    graph.add_edge(p.key, w.key)
+            elif isinstance(op, RecvOp):
                 blocked[p.key] = (
                     f"recv(source={op.source.key}, tag={op.tag}) "
                     f"with no matching send in flight")
@@ -343,7 +533,7 @@ class CommProgram:
                         graph.add_edge(p.key, h.key)
         cycles = [c for c in nx.simple_cycles(graph)]
         return Diagnosis(blocked=blocked, cycles=cycles,
-                         collective=collective_wait)
+                         collective=collective_wait, rma=rma_wait)
 
     def _all_calls(self, provider, ops):
         out, seen = [], set()
@@ -363,11 +553,15 @@ class Diagnosis:
     blocked: dict[str, str]
     cycles: list[list[str]] = field(default_factory=list)
     collective: bool = False
+    rma: bool = False
 
     @property
     def kind(self) -> str:
-        return ("collective-order mismatch" if self.collective
-                else "receive cycle")
+        if self.collective:
+            return "collective-order mismatch"
+        if self.rma:
+            return "epoch-order mismatch (one-sided)"
+        return "receive cycle"
 
     def to_error(self) -> DeadlockError:
         """The exact exception the runtime watchdog would raise, built
@@ -434,4 +628,42 @@ def fig5_model(policy) -> CommProgram:
         prog.barrier((c0, c1, c2), label="call1")
     for p in (c0, c1, c2):
         prog.add(p, call1)
+    return prog
+
+
+def rma_channel_model(steps: int = 1, *,
+                      misuse: bool = False) -> CommProgram:
+    """One producer/consumer pair on a one-sided persistent channel.
+
+    ``misuse=False``: ``steps`` well-ordered push/pull step pairs — the
+    consumer opens each exposure epoch, the producer's put lands, the
+    fence closes it, the consumer reads.  Deadlock-free.
+
+    ``misuse=True``: the epoch-misuse pattern the runtime watchdog
+    dumps as ``rma_put``/``recv`` stalls — the producer pushes and
+    *then* sends a side-band token, while the consumer insists on the
+    token *before* its pull.  The put spins for an exposure epoch the
+    consumer will only open after receiving a token that is sequenced
+    after the put: a cross-layer wait cycle no message reordering can
+    break.  This is exactly the documented RMA lockstep caveat
+    (:class:`~repro.highlevel.Channel`): an RMA push blocks until the
+    consumer's matching pull epoch.
+    """
+    prog = CommProgram()
+    src = prog.proc("prod", 0)
+    dst = prog.proc("cons", 0)
+    win = prog.window(dst, "field")
+    if misuse:
+        prog.put(src, win)
+        prog.send(src, dst, tag=1)
+        prog.recv(dst, src, tag=1)
+        prog.epoch_open(win)
+        prog.fence(win, (src,))
+        prog.read(win)
+        return prog
+    for _ in range(steps):
+        prog.epoch_open(win)
+        prog.fence(win, (src,))
+        prog.read(win)
+        prog.put(src, win)
     return prog

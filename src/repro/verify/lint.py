@@ -25,6 +25,15 @@ over ``src/``:
   ``while`` body is a busy-wait; the transport is event-driven
   (condition variables, preposted slots) and polling loops defeat both
   latency and the deadlock watchdog's blocked-state accounting.
+* **V105 — put into an unexposed window.**  A one-sided ``.put(...)``
+  on a window-ish receiver (``rwin``, ``self._win``, ``window`` …)
+  with no epoch guard (``wait_open``/``epoch_open``/``fence``) earlier
+  in the same function writes remote memory outside any exposure
+  epoch — the racing-write bug the :mod:`repro.simmpi.rma` protocol
+  exists to prevent, and the static twin of
+  :meth:`~repro.verify.commgraph.CommProgram.epoch_violations`.
+  Heuristic by name on purpose: queue ``.put`` receivers (``q``,
+  ``results``, ``broker_q``) never look like windows.
 
 A line can opt out with a ``# verify: allow(V10x)`` pragma naming the
 rule.  :func:`lint_paths` walks files or directories and returns
@@ -48,7 +57,14 @@ RULES = {
     "V102": "Borrowed/OwnedBuffer marker stored past its consumption scope",
     "V103": "Raw payload constructed in a procs-backend module",
     "V104": "time.sleep polling loop in transport code",
+    "V105": "one-sided put into a window with no epoch guard in scope",
 }
+
+#: Epoch verbs that license a later ``.put`` in the same function.
+_EPOCH_GUARDS = {"wait_open", "epoch_open", "fence"}
+
+#: Receiver-name fragment marking a ``.put`` target as an RMA window.
+_WINDOW_NAME_RE = re.compile(r"win", re.IGNORECASE)
 
 #: Modules implementing the forked-process backend (V103 scope).
 PROCS_BACKEND_MODULES = ("simmpi/procs.py", "simmpi/shm.py")
@@ -195,6 +211,42 @@ def _check_sleep_loops(tree: ast.AST) -> Iterator[tuple[int, str]]:
                            "preposted receive slots")
 
 
+def _receiver_name(node: ast.AST) -> str | None:
+    """Trailing identifier of a method-call receiver: ``rwin.put`` ->
+    ``rwin``, ``self._win.put`` -> ``_win``, ``wins[i].put`` -> ``wins``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _receiver_name(node.value)
+    return None
+
+
+def _check_unexposed_put(func: ast.AST) -> Iterator[tuple[int, str]]:
+    """V105 inside one function body: a ``.put`` whose receiver name
+    looks like a window, with no epoch guard call on any earlier line
+    of the same function."""
+    guard_lines: list[int] = []
+    puts: list[tuple[int, str]] = []
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr in _EPOCH_GUARDS:
+            guard_lines.append(node.lineno)
+        elif node.func.attr == "put":
+            recv = _receiver_name(node.func.value)
+            if recv and _WINDOW_NAME_RE.search(recv):
+                puts.append((node.lineno, recv))
+    for line, recv in sorted(puts):
+        if not any(g <= line for g in guard_lines):
+            yield (line,
+                   f"{recv!r}.put() with no wait_open/epoch_open/fence "
+                   f"earlier in this function — one-sided write outside "
+                   f"an exposure epoch")
+
+
 def lint_source(source: str, path: str = "<string>",
                 relpath: str | None = None) -> list[LintViolation]:
     """Run every rule over one module's source text."""
@@ -207,6 +259,8 @@ def lint_source(source: str, path: str = "<string>",
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             hits.extend((ln, "V101", msg)
                         for ln, msg in _check_use_after_move(node))
+            hits.extend((ln, "V105", msg)
+                        for ln, msg in _check_unexposed_put(node))
     hits.extend((ln, "V102", msg)
                 for ln, msg in _check_escaped_marker(tree))
     hits.extend((ln, "V103", msg)

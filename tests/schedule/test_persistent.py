@@ -21,7 +21,22 @@ from repro.schedule import build_region_schedule
 from repro.simmpi import payload
 from repro.simmpi.intercomm import couple_jobs
 from repro.simmpi.runner import Job
+from repro.simmpi.transport import ThreadTransport
 from repro.util.counters import TRANSPORT_STATS
+
+
+class RmaThreadTransport(ThreadTransport):
+    """In-process harness for the one-sided tier: ranks are threads of
+    one process, so every rank can map every window — the engines run
+    the real RMA protocol without forked processes."""
+
+    rma_capable = True
+
+
+def _rma_job(n):
+    return Job(n, transport_factory=lambda n_, abort, progress, block_state:
+               RmaThreadTransport(n_, abort, progress=progress,
+                                  block_state=block_state))
 
 
 @pytest.fixture(autouse=True)
@@ -70,6 +85,27 @@ def _engines(src_desc, dst_desc, g):
                for r in range(src_desc.nranks)]
     receivers = [sched.persistent_receiver(dst_inters[r], dst_arrays[r])
                  for r in range(dst_desc.nranks)]
+    return src_arrays, dst_arrays, senders, receivers
+
+
+def _rma_engines(src_desc, dst_desc, g):
+    """Single-threaded one-sided channel.  Receivers are constructed
+    *first*: their bootstrap window handles are buffered sends the
+    sender constructors then drain (the reverse order would block a
+    single thread on a recv with nothing in flight)."""
+    sched = build_region_schedule(src_desc, dst_desc)
+    src_job, dst_job = _rma_job(src_desc.nranks), _rma_job(dst_desc.nranks)
+    src_inters, dst_inters = couple_jobs(src_job, dst_job)
+    src_arrays = [DistributedArray.from_global(src_desc, r, g)
+                  for r in range(src_desc.nranks)]
+    dst_arrays = [DistributedArray.allocate(dst_desc, r)
+                  for r in range(dst_desc.nranks)]
+    receivers = [sched.persistent_receiver(dst_inters[r], dst_arrays[r],
+                                           mode="rma")
+                 for r in range(dst_desc.nranks)]
+    senders = [sched.persistent_sender(src_inters[r], src_arrays[r],
+                                       mode="rma")
+               for r in range(src_desc.nranks)]
     return src_arrays, dst_arrays, senders, receivers
 
 
@@ -195,3 +231,145 @@ class TestPoisonMode:
                     assert payload.is_poisoned(buf)
                     poisoned += 1
         assert poisoned > 0
+
+
+def _close_all(senders, receivers):
+    for tx in senders:
+        tx.close()
+    for rx in receivers:
+        rx.close()
+
+
+class TestRmaEquivalence:
+    """One-sided execution tier: the same compiled schedules executed
+    as direct window writes must be byte-identical to the two-sided
+    ground truth, for every distribution kind."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(template_pairs(), st.integers(0, 2 ** 31 - 1))
+    def test_rma_steady_state_matches_ground_truth(self, pair, seed):
+        src_t, dst_t = pair
+        src_desc = DistArrayDescriptor(src_t, np.float64)
+        dst_desc = DistArrayDescriptor(dst_t, np.float64)
+        rng = np.random.default_rng(seed)
+        g = np.asarray(rng.integers(0, 1000, size=src_t.shape),
+                       dtype=np.float64)
+        src_arrays, dst_arrays, senders, receivers = _rma_engines(
+            src_desc, dst_desc, g)
+        assert all(tx.mode == "rma" for tx in senders)
+        assert all(rx.mode == "rma" for rx in receivers)
+        total = int(np.prod(src_t.shape))
+        for _i in range(3):
+            got = _step(senders, receivers)
+            assert got == total
+            for d, arr in enumerate(dst_arrays):
+                expect = DistributedArray.from_global(dst_desc, d, g)
+                assert arr.flat_local().tobytes() == \
+                    expect.flat_local().tobytes()
+            g = g + 1.0
+            for s, arr in enumerate(src_arrays):
+                arr.flat_local()[:] = DistributedArray.from_global(
+                    src_desc, s, g).flat_local()
+        _close_all(senders, receivers)
+
+    def test_rma_steady_state_matches_no_messages(self):
+        """The headline property: after bootstrap, RMA steps move data
+        with *zero* mailbox matching — the messages_matched counter
+        freezes while puts and fences keep counting."""
+        src_desc = DistArrayDescriptor(CartesianTemplate([Cyclic(48, 3)]))
+        dst_desc = DistArrayDescriptor(CartesianTemplate([Block(48, 4)]))
+        g = np.arange(48.0)
+        _, _, senders, receivers = _rma_engines(src_desc, dst_desc, g)
+        _step(senders, receivers)  # warm-up (bootstrap already drained)
+        matched = TRANSPORT_STATS.get("messages_matched")
+        puts = TRANSPORT_STATS.get("rma_puts")
+        fences = TRANSPORT_STATS.get("rma_fences")
+        for _ in range(4):
+            _step(senders, receivers)
+        assert TRANSPORT_STATS.get("messages_matched") == matched
+        assert TRANSPORT_STATS.get("rma_puts") > puts
+        assert TRANSPORT_STATS.get("rma_fences") == fences + 4 * 4
+        _close_all(senders, receivers)
+
+    def test_rma_zero_steady_state_allocations(self):
+        """Index-fragmenting redistributions gather through the pool;
+        armed RMA steps must allocate nothing after warm-up."""
+        src_desc = DistArrayDescriptor(block_template((6, 8), (1, 2)))
+        dst_desc = DistArrayDescriptor(block_template((6, 8), (1, 4)))
+        g = np.arange(48.0).reshape(6, 8)
+        _, _, senders, receivers = _rma_engines(src_desc, dst_desc, g)
+        _step(senders, receivers)
+        allocs = [tx.pool.stats.get("allocations") for tx in senders]
+        for _ in range(5):
+            _step(senders, receivers)
+        assert [tx.pool.stats.get("allocations") for tx in senders] == allocs
+        _close_all(senders, receivers)
+
+    def test_receiver_array_evacuated_on_close(self):
+        """After Channel/engine close the destination array must be
+        ordinary private memory again — intact contents, and writes to
+        it cannot be observed through the (closed) window."""
+        src_desc = DistArrayDescriptor(CartesianTemplate([Cyclic(24, 2)]))
+        dst_desc = DistArrayDescriptor(CartesianTemplate([Block(24, 2)]))
+        g = np.arange(24.0)
+        _, dst_arrays, senders, receivers = _rma_engines(
+            src_desc, dst_desc, g)
+        _step(senders, receivers)
+        wins = [rx._win for rx in receivers]
+        _close_all(senders, receivers)
+        for d, arr in enumerate(dst_arrays):
+            expect = DistributedArray.from_global(dst_desc, d, g)
+            assert arr.flat_local().tobytes() == expect.flat_local().tobytes()
+        assert all(w is None for w in (rx._win for rx in receivers))
+        assert all(w is not None for w in wins)
+
+    def test_rma_falls_back_on_incapable_transport(self):
+        """mode="rma" on the plain threads transport (no shared windows
+        across real processes to model) degrades to two-sided,
+        counted as a fallback — results stay correct."""
+        src_desc = DistArrayDescriptor(CartesianTemplate([Cyclic(24, 2)]))
+        dst_desc = DistArrayDescriptor(CartesianTemplate([Block(24, 3)]))
+        g = np.arange(24.0)
+        sched = build_region_schedule(src_desc, dst_desc)
+        src_job, dst_job = Job(src_desc.nranks), Job(dst_desc.nranks)
+        src_inters, dst_inters = couple_jobs(src_job, dst_job)
+        src_arrays = [DistributedArray.from_global(src_desc, r, g)
+                      for r in range(src_desc.nranks)]
+        dst_arrays = [DistributedArray.allocate(dst_desc, r)
+                      for r in range(dst_desc.nranks)]
+        before = TRANSPORT_STATS.get("rma_fallbacks")
+        receivers = [sched.persistent_receiver(dst_inters[r], dst_arrays[r],
+                                               mode="rma")
+                     for r in range(dst_desc.nranks)]
+        senders = [sched.persistent_sender(src_inters[r], src_arrays[r],
+                                           mode="rma")
+                   for r in range(src_desc.nranks)]
+        assert TRANSPORT_STATS.get("rma_fallbacks") > before
+        assert all(e.mode == "two_sided" for e in senders + receivers)
+        got = _step(senders, receivers)
+        assert got == 24
+        for d, arr in enumerate(dst_arrays):
+            expect = DistributedArray.from_global(dst_desc, d, g)
+            assert arr.flat_local().tobytes() == expect.flat_local().tobytes()
+
+    def test_rma_env_var_selects_mode(self, monkeypatch):
+        """REPRO_RMA=1 turns the one-sided tier on without code
+        changes; explicit mode always wins."""
+        monkeypatch.setenv("REPRO_RMA", "1")
+        src_desc = DistArrayDescriptor(CartesianTemplate([Block(12, 2)]))
+        dst_desc = DistArrayDescriptor(CartesianTemplate([Block(12, 3)]))
+        g = np.arange(12.0)
+        sched = build_region_schedule(src_desc, dst_desc)
+        src_job, dst_job = _rma_job(2), _rma_job(3)
+        src_inters, dst_inters = couple_jobs(src_job, dst_job)
+        src_arrays = [DistributedArray.from_global(src_desc, r, g)
+                      for r in range(2)]
+        dst_arrays = [DistributedArray.allocate(dst_desc, r)
+                      for r in range(3)]
+        receivers = [sched.persistent_receiver(dst_inters[r], dst_arrays[r])
+                     for r in range(3)]
+        senders = [sched.persistent_sender(src_inters[r], src_arrays[r])
+                   for r in range(2)]
+        assert all(e.mode == "rma" for e in senders + receivers)
+        assert _step(senders, receivers) == 12
+        _close_all(senders, receivers)

@@ -136,3 +136,85 @@ def test_nondeterministic_commitment_explored():
     # start, so a lucky runtime interleaving completes; the static
     # check reports the unlucky one.
     assert would_deadlock(prog) is not None
+
+
+# -- one-sided (RMA) epoch model ---------------------------------------------
+
+def test_rma_channel_model_clean_and_misuse():
+    from repro.verify.commgraph import rma_channel_model
+
+    assert would_deadlock(rma_channel_model(steps=4)) is None
+    diag = would_deadlock(rma_channel_model(misuse=True))
+    assert diag is not None
+    assert diag.kind == "epoch-order mismatch (one-sided)"
+    assert "rma_put" in diag.blocked["prod rank 0"]
+    assert any("prod rank 0" in cyc and "cons rank 0" in cyc
+               for cyc in diag.cycles)
+
+
+def test_epoch_violations_structural_rules():
+    prog = CommProgram()
+    w = prog.proc("prod", 0)
+    o = prog.proc("cons", 0)
+    win = prog.window(o, "field")
+    prog.put(w, win)
+    prog.put(w, win)
+    prog.epoch_open(win)
+    prog.read(win)                    # inside the open epoch: torn
+    prog.fence(win, (w,))
+    violations = prog.epoch_violations()
+    assert len(violations) == 2
+    assert any("write outside an open epoch" in v for v in violations)
+    assert any("torn read" in v for v in violations)
+    # well-ordered program: no violations
+    from repro.verify.commgraph import rma_channel_model
+    assert rma_channel_model(steps=3).epoch_violations() == []
+
+
+def test_rma_epoch_misuse_static_matches_live_procs():
+    """The static epoch rule and the runtime watchdog must agree: a
+    producer that pushes more epochs than the consumer ever opens is
+    (a) flagged before launch and (b) aborted by the watchdog with an
+    rma_put blocked-state dump when actually run."""
+    import numpy as np
+    from repro.dad import DistributedArray
+    from repro.highlevel import Coupler
+    from repro.simmpi import run_coupled
+    from repro.simmpi.intercomm import default_nameservice
+
+    # static: two puts against a single opened epoch
+    prog = CommProgram()
+    src = prog.proc("prod", 0)
+    dst = prog.proc("cons", 0)
+    win = prog.window(dst, "field")
+    prog.put(src, win)
+    prog.put(src, win)
+    prog.epoch_open(win)
+    prog.fence(win, (src,))
+    prog.read(win)
+    diag = would_deadlock(prog)
+    assert diag is not None
+    assert "rma_put" in diag.blocked["prod rank 0"]
+    assert prog.epoch_violations()    # surplus put flagged structurally
+
+    # live: same shape on real processes — push twice, pull once
+    src_desc = DistArrayDescriptor(CartesianTemplate([Block(64, 1)]))
+    dst_desc = DistArrayDescriptor(CartesianTemplate([Block(64, 1)]))
+
+    def producer(comm):
+        coupler = Coupler("rma-misuse", default_nameservice)
+        da = DistributedArray.from_global(src_desc, 0, np.arange(64.0))
+        chan = coupler.open(comm, "source", da, one_sided=True)
+        chan.push()
+        chan.push()                   # no matching pull: never licensed
+
+    def consumer(comm):
+        coupler = Coupler("rma-misuse", default_nameservice)
+        chan = coupler.open(comm, "destination", dst_desc, one_sided=True)
+        chan.pull()
+        chan.close()
+
+    with pytest.raises(SpmdError) as ei:
+        run_coupled([("prod", 1, producer, ()), ("cons", 1, consumer, ())],
+                    deadlock_timeout=3.0, backend="procs")
+    assert any("rma_put" in str(e) for e in ei.value.failures.values())

@@ -121,3 +121,45 @@ def test_allow_pragma_suppresses_named_rule():
 
 def test_shipped_source_tree_is_clean():
     assert lint_paths([SRC]) == []
+
+
+# -- V105: one-sided put outside an exposure epoch ---------------------------
+
+def test_v105_unguarded_window_put_flagged():
+    hits = lint("""
+        def step(rwin, values):
+            rwin.put(values)
+    """)
+    assert [h.rule for h in hits] == ["V105"]
+    assert "exposure epoch" in hits[0].message
+
+
+def test_v105_guarded_put_clean():
+    hits = lint("""
+        def step(self, rwin, values, epoch):
+            rwin.wait_open(epoch)
+            rwin.put(values)
+
+        def owner_side(self, values):
+            self._win.epoch_open()
+            self._win.put(values)
+    """)
+    assert hits == []
+
+
+def test_v105_queue_put_not_a_window():
+    hits = lint("""
+        def pump(q, results, broker_q, item):
+            q.put(item)
+            results.put(item)
+            broker_q.put(item)
+    """)
+    assert hits == []
+
+
+def test_v105_allow_pragma():
+    hits = lint("""
+        def replay(rwin, values):
+            rwin.put(values)  # verify: allow(V105)
+    """)
+    assert hits == []
