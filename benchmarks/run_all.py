@@ -43,6 +43,7 @@ EXPERIMENTS = [
     ("A7", "bench_persistent_steady_state"),
     ("A8", "bench_multicore_scaling"),
     ("A9", "bench_rma_steady_state"),
+    ("A10", "bench_collective_memory"),
 ]
 
 

@@ -48,6 +48,7 @@ class DistArrayDescriptor:
         self.dtype = np.dtype(dtype)
         self.name = name
         self.mode = mode
+        self._region_cache: dict[int, RegionList] = {}
 
     # -- layout queries (the DAD run-time interface) -----------------------
 
@@ -64,8 +65,19 @@ class DistArrayDescriptor:
         return self.template.nranks
 
     def local_regions(self, rank: int) -> RegionList:
-        """Global regions of the array stored by ``rank``."""
-        return self.template.owner_regions(rank)
+        """Global regions of the array stored by ``rank``.
+
+        Memoized per rank: cyclic templates enumerate O(extent) regions
+        and the executors ask once per transfer, so recomputing would
+        make steady-state transfer cost scale with the region count
+        instead of the byte count.  Sound because templates are
+        immutable after construction.
+        """
+        regions = self._region_cache.get(rank)
+        if regions is None:
+            regions = self._region_cache[rank] = \
+                self.template.owner_regions(rank)
+        return regions
 
     def local_volume(self, rank: int) -> int:
         return self.template.local_volume(rank)

@@ -29,6 +29,8 @@ from repro.dad.descriptor import DistArrayDescriptor
 from repro.dad.template import block_template
 from repro.schedule.bufpool import BufferPool
 from repro.schedule.builder import ScheduleCache
+from repro.schedule.costmodel import (choose_planner, resolve_planner,
+                                      resolve_round_bytes)
 from repro.schedule.executor import execute_inter, execute_intra
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator, NameService
@@ -44,20 +46,23 @@ _DATA_TAG = 151
 def redistribute(global_array: np.ndarray,
                  src_grid: Sequence[int],
                  dst_grid: Sequence[int],
-                 *, backend: str | None = None) -> np.ndarray:
+                 *, backend: str | None = None,
+                 planner: str | None = None) -> np.ndarray:
     """Scatter ``global_array`` onto ``src_grid`` blocks, redistribute to
     ``dst_grid`` blocks, and reassemble — the whole Fig. 1 pipeline in
     one call (runs an SPMD job internally).
 
     ``backend="procs"`` runs the ranks as real processes with payloads
     in shared memory (see :mod:`repro.simmpi.transport`); the default
-    follows ``REPRO_BACKEND`` / threads."""
+    follows ``REPRO_BACKEND`` / threads.  ``planner`` picks the
+    execution strategy (``p2p``/``collective``/``auto``, default
+    ``REPRO_PLANNER`` then ``p2p``)."""
     global_array = np.asarray(global_array)
     src = DistArrayDescriptor(
         block_template(global_array.shape, src_grid), global_array.dtype)
     dst = DistArrayDescriptor(
         block_template(global_array.shape, dst_grid), global_array.dtype)
-    sched = _cache.get(src, dst)
+    sched = _cache.get(src, dst, planner=resolve_planner(planner))
     n = max(src.nranks, dst.nranks)
 
     def main(comm):
@@ -67,7 +72,7 @@ def redistribute(global_array: np.ndarray,
               if comm.rank < dst.nranks else None)
         execute_intra(sched, comm, src_array=sa, dst_array=da,
                       src_ranks=range(src.nranks),
-                      dst_ranks=range(dst.nranks))
+                      dst_ranks=range(dst.nranks), planner=planner)
         return da
 
     parts = [p for p in run_spmd(n, main, backend=backend) if p is not None]
@@ -94,11 +99,20 @@ class Channel:
     ``pull`` epoch, so producer and consumer proceed in lockstep —
     two programs that each push before pulling the reverse channel
     must stay two-sided (or pre-arm) to avoid a cycle.
+
+    ``planner="collective"`` (or ``auto`` deciding so, or
+    ``REPRO_PLANNER``) swaps both engines for the memory-bounded
+    collective tier (:mod:`repro.schedule.collplan`): pushes ship
+    acknowledged ``round_bytes``-capped rounds, so peak transfer
+    residency is O(round buffer) per rank instead of O(pairs) — and,
+    like the RMA tier, a push does not return until the consumer has
+    pulled the step, so producer and consumer proceed in lockstep.
     """
 
     def __init__(self, inter: Intercommunicator, role: str,
                  schedule, darray: DistributedArray,
-                 one_sided: bool | None = None):
+                 one_sided: bool | None = None,
+                 planner: str | None = None):
         self._inter = inter
         self._role = role
         self._schedule = schedule
@@ -107,16 +121,35 @@ class Channel:
         self._engine = None
         self._mode = (None if one_sided is None
                       else ("rma" if one_sided else "two_sided"))
+        self._planner = choose_planner(
+            schedule, np.dtype(darray.descriptor.dtype).itemsize,
+            planner=planner)
         self.transfers = 0
+
+    @property
+    def planner(self) -> str:
+        """The resolved execution strategy ("p2p" or "collective")."""
+        return self._planner
+
+    def _collective_plan(self):
+        itemsize = np.dtype(self._darray.descriptor.dtype).itemsize
+        return self._schedule.collective_plan(itemsize,
+                                              resolve_round_bytes())
 
     def push(self) -> None:
         """Producer side: send the current contents of the local array."""
         if self._role != "source":
             raise ConnectionError_("push() is for the publishing side")
         if self._engine is None:
-            self._engine = self._schedule.persistent_sender(
-                self._inter, self._darray, tag=_DATA_TAG, pool=self.pool,
-                mode=self._mode)
+            if self._planner == "collective":
+                from repro.schedule.collplan import CollectiveSender
+                self._engine = CollectiveSender(
+                    self._schedule, self._collective_plan(), self._inter,
+                    self._darray, tag=_DATA_TAG, pool=self.pool)
+            else:
+                self._engine = self._schedule.persistent_sender(
+                    self._inter, self._darray, tag=_DATA_TAG,
+                    pool=self.pool, mode=self._mode)
         self._engine.step()
         self.transfers += 1
 
@@ -125,8 +158,15 @@ class Channel:
         if self._role != "destination":
             raise ConnectionError_("pull() is for the subscribing side")
         if self._engine is None:
-            self._engine = self._schedule.persistent_receiver(
-                self._inter, self._darray, tag=_DATA_TAG, mode=self._mode)
+            if self._planner == "collective":
+                from repro.schedule.collplan import CollectiveReceiver
+                self._engine = CollectiveReceiver(
+                    self._schedule, self._collective_plan(), self._inter,
+                    self._darray, tag=_DATA_TAG)
+            else:
+                self._engine = self._schedule.persistent_receiver(
+                    self._inter, self._darray, tag=_DATA_TAG,
+                    mode=self._mode)
         self._engine.step()
         self.transfers += 1
         return self._darray
@@ -134,8 +174,9 @@ class Channel:
     @property
     def mode(self) -> str | None:
         """The engine's resolved execution mode (``None`` before the
-        first transfer constructs it)."""
-        return self._engine.mode if self._engine is not None else None
+        first transfer constructs it; collective engines have no
+        two-sided/RMA distinction)."""
+        return getattr(self._engine, "mode", None)
 
     def close(self) -> None:
         """Release engine resources (RMA windows).  Idempotent; safe on
@@ -168,7 +209,8 @@ class Coupler:
     # -- connection plumbing ------------------------------------------------
 
     def _handshake(self, comm: Communicator, role: str,
-                   descriptor: DistArrayDescriptor):
+                   descriptor: DistArrayDescriptor,
+                   planner: str | None = None):
         if role == "source":
             inter = self.nameservice.accept(self.name, comm)
         else:
@@ -179,10 +221,14 @@ class Coupler:
         else:
             peer = None
         peer = comm.bcast(peer, root=0)
+        # Planner participates in the cache key: a collective-tier
+        # schedule (with its memoized round plans) never aliases the
+        # p2p entry for the same template pair.
+        planner = resolve_planner(planner)
         if role == "source":
-            sched = _cache.get(descriptor, peer)
+            sched = _cache.get(descriptor, peer, planner=planner)
         else:
-            sched = _cache.get(peer, descriptor)
+            sched = _cache.get(peer, descriptor, planner=planner)
         return inter, sched
 
     # -- one-shot -----------------------------------------------------------------
@@ -204,7 +250,8 @@ class Coupler:
     # -- persistent ------------------------------------------------------------------
 
     def open(self, comm: Communicator, role: str,
-             darray_or_layout, *, one_sided: bool | None = None) -> Channel:
+             darray_or_layout, *, one_sided: bool | None = None,
+             planner: str | None = None) -> Channel:
         """Open a persistent channel.
 
         Producer: ``open(comm, "source", darray)``.
@@ -213,16 +260,23 @@ class Coupler:
 
         ``one_sided=True`` requests the RMA execution tier (pass it on
         **both** sides; see :class:`Channel`); ``None`` defers to the
-        ``REPRO_RMA`` environment variable.
+        ``REPRO_RMA`` environment variable.  ``planner`` selects the
+        redistribution strategy (``p2p``/``collective``/``auto``,
+        ``None`` defers to ``REPRO_PLANNER``); the ``auto`` cost model
+        is a pure function of the handshaken schedule, the dtype, and
+        the environment, so both sides resolve the same strategy
+        without negotiating — pass the same value on both sides.
         """
         if role == "source":
             darray = darray_or_layout
-            inter, sched = self._handshake(comm, role, darray.descriptor)
+            inter, sched = self._handshake(comm, role, darray.descriptor,
+                                           planner)
         elif role == "destination":
             layout = darray_or_layout
             darray = DistributedArray.allocate(layout, comm.rank)
-            inter, sched = self._handshake(comm, role, layout)
+            inter, sched = self._handshake(comm, role, layout, planner)
         else:
             raise ConnectionError_(
                 f"role must be 'source' or 'destination', got {role!r}")
-        return Channel(inter, role, sched, darray, one_sided=one_sided)
+        return Channel(inter, role, sched, darray, one_sided=one_sided,
+                       planner=planner)

@@ -40,6 +40,21 @@ from repro.schedule.builder import (
     build_sweep_schedule,
 )
 from repro.schedule.bufpool import BufferPool
+from repro.schedule.collplan import (
+    CollectivePlan,
+    CollectiveReceiver,
+    CollectiveSender,
+    RoundChunk,
+    execute_collective_intra,
+    plan_collective_rounds,
+)
+from repro.schedule.costmodel import (
+    CostEstimate,
+    choose_planner,
+    estimate,
+    resolve_planner,
+    resolve_round_bytes,
+)
 from repro.schedule.executor import (
     PersistentReceiver,
     PersistentSender,
@@ -71,6 +86,17 @@ __all__ = [
     "BufferPool",
     "PersistentSender",
     "PersistentReceiver",
+    "CollectivePlan",
+    "CollectiveSender",
+    "CollectiveReceiver",
+    "RoundChunk",
+    "plan_collective_rounds",
+    "execute_collective_intra",
+    "CostEstimate",
+    "estimate",
+    "choose_planner",
+    "resolve_planner",
+    "resolve_round_bytes",
     "pack_regions",
     "unpack_regions",
     "region_offsets",

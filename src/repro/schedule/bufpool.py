@@ -25,7 +25,7 @@ from typing import Callable, Hashable
 
 import numpy as np
 
-from repro.util.counters import Counters
+from repro.util.counters import Counters, TRANSPORT_STATS
 
 __all__ = ["BufferPool"]
 
@@ -75,8 +75,12 @@ class BufferPool:
             self.stats.add("allocated_bytes", buf.nbytes)
         else:
             self.stats.add("reuses")
+        TRANSPORT_STATS.gauge_add("pool_bytes", buf.nbytes)
+        TRANSPORT_STATS.gauge_add("resident_bytes", buf.nbytes)
 
         def release(buf=buf, key=key):
+            TRANSPORT_STATS.gauge_add("pool_bytes", -buf.nbytes)
+            TRANSPORT_STATS.gauge_add("resident_bytes", -buf.nbytes)
             with self._lock:
                 self._free.setdefault(key, []).append(buf)
             self.stats.add("releases")

@@ -320,7 +320,12 @@ class ScheduleCache:
     and even for different arrays as long as they conform to the same
     distribution template".  Builder options participate in the key:
     ``get(src, dst, force_general=True)`` never returns a fast-path
-    schedule cached by a plain ``get(src, dst)``.
+    schedule cached by a plain ``get(src, dst)``.  So does the
+    execution ``planner`` (which the builder never sees): a schedule
+    carries memoized per-planner state — collective round plans, index
+    plans sized for round packing — so a ``planner="collective"`` entry
+    must never alias a ``planner="p2p"`` one compiled for the same
+    template pair.
     """
 
     def __init__(self, builder: Callable[..., CommSchedule] = build_region_schedule):
@@ -330,8 +335,9 @@ class ScheduleCache:
         self.misses = 0
 
     def get(self, src: DistArrayDescriptor,
-            dst: DistArrayDescriptor, **kwargs) -> CommSchedule:
-        key = (src.cache_key(), dst.cache_key(),
+            dst: DistArrayDescriptor, *, planner: str | None = None,
+            **kwargs) -> CommSchedule:
+        key = (src.cache_key(), dst.cache_key(), planner,
                tuple(sorted(kwargs.items())))
         if key in self._cache:
             self.hits += 1

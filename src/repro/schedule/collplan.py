@@ -1,0 +1,527 @@
+"""Memory-bounded collective round plans for redistribution schedules.
+
+The packed executors (:mod:`repro.schedule.executor`) ship one coalesced
+message per communicating (src, dst) rank pair.  That minimizes message
+count, but on a buffered transport every pair's buffer can be in flight
+at once, so peak transfer memory grows **O(pairs)** — at large fan-out
+it blows past any fixed ceiling.  Following Rink et al.'s
+memory-efficient redistribution-through-collectives construction (arXiv
+2112.01075), this module rewrites a compiled :class:`~repro.schedule.
+plan.CommSchedule`/:class:`~repro.schedule.plan.LinearSchedule` into a
+short sequence of ``alltoallv`` **rounds** with a *statically provable*
+peak-bytes-resident bound:
+
+* every pair's wire-order element range is split into chunks of at most
+  ``round_bytes`` bytes (:class:`RoundChunk` — pure data: ``(src, dst,
+  lo, hi)`` offsets into the pair's packed stream, realized at execution
+  time by :meth:`~repro.schedule.indexplan.PairPlan.sub` sub-plans of
+  the schedule's cached gather/scatter plans);
+* chunks are assigned to rounds by a deterministic first-fit under a
+  per-rank, per-round cap of ``round_bytes`` sent *and* received, so
+  within any round no rank stages more than one round buffer each way;
+* rounds are executed one at a time (a tree barrier between rounds
+  intra-job; a per-round acknowledgement handshake across an
+  intercommunicator), so at most one round's bytes are ever in flight.
+
+Peak resident transfer memory is therefore bounded by **O(local shard +
+round buffer)** per rank — independent of the pair count — and
+:meth:`CollectivePlan.resident_ceiling` computes the exact process-wide
+bound the A10 benchmark gates in CI.  Whether a given transfer *should*
+pay the extra round synchronization is the cost model's call
+(:mod:`repro.schedule.costmodel`, ``REPRO_PLANNER={p2p,collective,
+auto}``).
+
+Plans are pure functions of (schedule groups, itemsize, round_bytes);
+:meth:`CommSchedule.collective_plan` memoizes them on the schedule next
+to the index plans, so both sides of a coupled run (and every rank of
+an SPMD job) derive the identical round structure with no negotiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.schedule.bufpool import BufferPool
+from repro.simmpi import payload
+
+__all__ = [
+    "RoundChunk",
+    "CollectivePlan",
+    "plan_collective_rounds",
+    "execute_collective_intra",
+    "CollectiveSender",
+    "CollectiveReceiver",
+]
+
+#: Tag offset of the round-acknowledgement stream relative to the data
+#: tag (both are scoped by the channel's intercommunicator context).
+ACK_TAG_OFFSET = 1
+
+
+@dataclass(frozen=True, slots=True)
+class RoundChunk:
+    """Elements ``[lo, hi)`` of pair (src, dst)'s wire-order stream,
+    shipped in one round."""
+
+    src: int
+    dst: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+class CollectivePlan:
+    """A schedule decomposed into capped ``alltoallv`` rounds.
+
+    Pure data plus derived load tables; the proofs in
+    :func:`repro.verify.schedule.verify_collective_plan` and the
+    executors below consume it.  ``rounds[r]`` holds that round's chunks
+    sorted by ``(src, dst, lo)``.
+    """
+
+    def __init__(self, rounds: list[list[RoundChunk]], *,
+                 itemsize: int, round_bytes: int,
+                 src_nranks: int, dst_nranks: int):
+        self.rounds: tuple[tuple[RoundChunk, ...], ...] = tuple(
+            tuple(sorted(r, key=lambda c: (c.src, c.dst, c.lo)))
+            for r in rounds)
+        self.itemsize = int(itemsize)
+        self.round_bytes = int(round_bytes)
+        self.src_nranks = src_nranks
+        self.dst_nranks = dst_nranks
+        # per-round per-rank byte loads (the static bound's evidence)
+        self._send_bytes: list[dict[int, int]] = []
+        self._recv_bytes: list[dict[int, int]] = []
+        for chunks in self.rounds:
+            sb: dict[int, int] = {}
+            rb: dict[int, int] = {}
+            for c in chunks:
+                nb = c.size * self.itemsize
+                sb[c.src] = sb.get(c.src, 0) + nb
+                rb[c.dst] = rb.get(c.dst, 0) + nb
+            self._send_bytes.append(sb)
+            self._recv_bytes.append(rb)
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def nrounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def chunk_count(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    @property
+    def element_count(self) -> int:
+        return sum(c.size for r in self.rounds for c in r)
+
+    @property
+    def nbytes(self) -> int:
+        return self.element_count * self.itemsize
+
+    # -- static memory bound -------------------------------------------------
+
+    @property
+    def peak_send_bytes(self) -> int:
+        """Largest per-rank send load of any round (≤ ``round_bytes``
+        whenever a single element fits one round)."""
+        return max((b for sb in self._send_bytes for b in sb.values()),
+                   default=0)
+
+    @property
+    def peak_recv_bytes(self) -> int:
+        """Largest per-rank receive load of any round."""
+        return max((b for rb in self._recv_bytes for b in rb.values()),
+                   default=0)
+
+    def send_bytes(self, rnd: int, src: int) -> int:
+        return self._send_bytes[rnd].get(src, 0)
+
+    def recv_bytes(self, rnd: int, dst: int) -> int:
+        return self._recv_bytes[rnd].get(dst, 0)
+
+    def inflight_bound(self) -> int:
+        """Process-wide bound on bytes simultaneously in flight: every
+        source rank holds at most its largest single round's send load
+        (round r+1 is not packed until round r is acknowledged/
+        barriered)."""
+        peaks: dict[int, int] = {}
+        for sb in self._send_bytes:
+            for src, b in sb.items():
+                if b > peaks.get(src, 0):
+                    peaks[src] = b
+        return sum(peaks.values())
+
+    def resident_ceiling(self) -> int:
+        """Static ceiling on gauge-counted resident transfer bytes for
+        one execution of this plan (process-wide; all rank threads of
+        the threads backend included).
+
+        At any instant each source holds at most one round's send load,
+        counted at most twice by the conservative gauges (once on loan
+        from the pool, once queued in the destination mailbox until
+        consumed) — hence ``2 * inflight_bound()``.  Protocol messages
+        (acks, barrier tokens) are byte-counted by the caller's slack,
+        not here.
+        """
+        return 2 * self.inflight_bound()
+
+    # -- per-rank views (executor queries) -----------------------------------
+
+    def sends_in(self, rnd: int, src: int) -> list[RoundChunk]:
+        """Round ``rnd``'s chunks sent by schedule source rank ``src``,
+        in (dst, lo) order."""
+        return [c for c in self.rounds[rnd] if c.src == src]
+
+    def recvs_in(self, rnd: int, dst: int) -> list[RoundChunk]:
+        """Round ``rnd``'s chunks received by schedule destination rank
+        ``dst``, in (src, lo) order."""
+        return sorted((c for c in self.rounds[rnd] if c.dst == dst),
+                      key=lambda c: (c.src, c.lo))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CollectivePlan({self.nrounds} rounds, "
+                f"{self.chunk_count} chunks, "
+                f"peak {self.peak_send_bytes}B send / "
+                f"{self.peak_recv_bytes}B recv per rank-round)")
+
+
+def plan_collective_rounds(schedule, *, itemsize: int,
+                           round_bytes: int) -> CollectivePlan:
+    """Decompose ``schedule`` into capped collective rounds.
+
+    Works on any schedule exposing ``send_groups(src)`` /
+    ``src_nranks`` / ``dst_nranks`` (both :class:`~repro.schedule.plan.
+    CommSchedule` and :class:`~repro.schedule.plan.LinearSchedule`).
+    Deterministic: pairs are visited in (src, dst) order and chunks
+    first-fit into the earliest round whose source and destination caps
+    both still hold, never earlier than the pair's previous chunk —
+    every caller derives the same plan with no communication.
+    """
+    itemsize = int(itemsize)
+    round_bytes = int(round_bytes)
+    if itemsize <= 0 or round_bytes <= 0:
+        raise ScheduleError(
+            f"itemsize ({itemsize}) and round_bytes ({round_bytes}) "
+            f"must be positive")
+    # Cap in elements; a single element larger than round_bytes still
+    # moves (one element per rank per round — the bound degrades to one
+    # item, never breaks).
+    cap = max(1, round_bytes // itemsize)
+    rounds: list[list[RoundChunk]] = []
+    send_load: list[dict[int, int]] = []
+    recv_load: list[dict[int, int]] = []
+    for src in range(schedule.src_nranks):
+        for dst, _items, offsets in schedule.send_groups(src):
+            size = int(offsets[-1])
+            pos = 0
+            nxt = 0  # chunks of one pair stay in wire order across rounds
+            while pos < size:
+                n = min(cap, size - pos)
+                r = nxt
+                while True:
+                    if r == len(rounds):
+                        rounds.append([])
+                        send_load.append({})
+                        recv_load.append({})
+                    if (send_load[r].get(src, 0) + n <= cap
+                            and recv_load[r].get(dst, 0) + n <= cap):
+                        break
+                    r += 1
+                rounds[r].append(RoundChunk(src, dst, pos, pos + n))
+                send_load[r][src] = send_load[r].get(src, 0) + n
+                recv_load[r][dst] = recv_load[r].get(dst, 0) + n
+                nxt = r + 1
+                pos += n
+    return CollectivePlan(rounds, itemsize=itemsize,
+                          round_bytes=round_bytes,
+                          src_nranks=schedule.src_nranks,
+                          dst_nranks=schedule.dst_nranks)
+
+
+# -- intra-job execution: alltoallv rounds over the tree collectives ---------
+
+def _send_segments(plan, coll: CollectivePlan, rnd: int, s: int,
+                   order_of) -> list[tuple[int, object, int, int]]:
+    """Round ``rnd``'s send segments for source rank ``s``:
+    ``(dst, sub_plan, lo, hi)`` sorted by the caller-supplied wire order
+    of the destination (comm rank intra-job, peer rank inter-job)."""
+    pairs = {pp.peer: pp for pp in plan.pairs}
+    segs = [(c.dst, pairs[c.dst].sub(c.lo, c.hi), c.lo, c.hi)
+            for c in coll.sends_in(rnd, s)]
+    segs.sort(key=lambda t: (order_of(t[0]), t[2]))
+    return segs
+
+
+def _recv_segments(plan, coll: CollectivePlan, rnd: int, d: int,
+                   order_of) -> list[tuple[int, object, int, int]]:
+    """Round ``rnd``'s receive segments for destination rank ``d``,
+    sorted to match the concatenation order of the round's arrivals."""
+    pairs = {pp.peer: pp for pp in plan.pairs}
+    segs = [(c.src, pairs[c.src].sub(c.lo, c.hi), c.lo, c.hi)
+            for c in coll.recvs_in(rnd, d)]
+    segs.sort(key=lambda t: (order_of(t[0]), t[2]))
+    return segs
+
+
+def execute_collective_intra(schedule, comm, coll: CollectivePlan,
+                             *, src_array, dst_array,
+                             src_ranks, dst_ranks, pool=None) -> int:
+    """Run a collective round plan inside one communicator.
+
+    Collective over **all** ranks of ``comm``: every rank calls
+    ``alltoallv`` (with statically known counts — no count-exchange
+    round trip) plus a tree ``barrier`` once per round, so rounds are
+    globally synchronized and at most one round's bytes are in flight.
+    Round send buffers are loaned from ``pool`` (sized per round, so a
+    replayed schedule reuses them with zero steady-state allocations).
+    Returns the number of elements this rank received.
+    """
+    src_pos = {rank: i for i, rank in enumerate(src_ranks)}
+    dst_pos = {rank: i for i, rank in enumerate(dst_ranks)}
+    me = comm.rank
+    pool = pool if pool is not None else BufferPool()
+    dtype = None
+    send_plan = recv_plan = None
+    s = src_pos.get(me)
+    d = dst_pos.get(me)
+    if s is not None:
+        if src_array is None:
+            raise ScheduleError(f"rank {me} is a source but has no src_array")
+        dtype = np.dtype(src_array.descriptor.dtype)
+        send_plan = schedule.send_plan(
+            s, src_array.descriptor.local_regions(s))
+    if d is not None:
+        if dst_array is None:
+            raise ScheduleError(
+                f"rank {me} is a destination but has no dst_array")
+        dtype = np.dtype(dst_array.descriptor.dtype)
+        recv_plan = schedule.recv_plan(
+            d, dst_array.descriptor.local_regions(d))
+    if dtype is None and coll.nrounds:
+        raise ScheduleError(
+            f"rank {me} joins collective-planner execution with neither "
+            f"a source nor a destination array — it cannot size the "
+            f"round buffers (every comm rank must hold one side)")
+
+    received = 0
+    for rnd in range(coll.nrounds):
+        sendcounts = [0] * comm.size
+        # pack in destination comm-rank order (alltoallv's sdispls order)
+        segs = (_send_segments(send_plan, coll, rnd, s,
+                               lambda i: dst_ranks[i])
+                if s is not None else [])
+        total = sum(hi - lo for _, _, lo, hi in segs)
+        if total:
+            buf, release = pool.loan(("collsend", me, rnd), total, dtype)
+        else:
+            buf, release = np.empty(0, dtype=dtype), (lambda: None)
+        flat = src_array.flat_local() if s is not None else None
+        off = 0
+        for dst, sub, lo, hi in segs:
+            n = hi - lo
+            sub.gather_into(flat, buf[off:off + n])
+            sendcounts[dst_ranks[dst]] += n
+            off += n
+        recvcounts = [0] * comm.size
+        if d is not None:
+            for c in coll.recvs_in(rnd, d):
+                recvcounts[src_ranks[c.src]] += c.size
+        arrived = comm.alltoallv(buf[:total], sendcounts,
+                                 recvcounts=recvcounts)
+        release()
+        if d is not None and arrived.size:
+            rflat = dst_array.flat_local()
+            rsegs = _recv_segments(recv_plan, coll, rnd, d,
+                                   lambda i: src_ranks[i])
+            off = 0
+            for _src, sub, lo, hi in rsegs:
+                n = hi - lo
+                received += sub.scatter(rflat, arrived[off:off + n])
+                off += n
+        # round barrier: no rank starts packing round r+1 until every
+        # rank has drained round r — the static bound's lockstep.
+        comm.barrier()
+    return received
+
+
+# -- inter-job execution: persistent round engines ----------------------------
+
+class CollectiveSender:
+    """Source half of a memory-bounded persistent channel.
+
+    Per round, packs this rank's chunks into one pooled buffer per
+    destination (realized by cached :meth:`~repro.schedule.indexplan.
+    PairPlan.sub` sub-plans), ships each as an :class:`~repro.simmpi.
+    payload.OwnedBuffer` (move semantics — the receiver's preposted sink
+    scatters it straight into final storage and the release returns the
+    buffer to the pool), and **waits for the receivers' round
+    acknowledgements before packing the next round** — the in-flight
+    bound that makes :meth:`CollectivePlan.resident_ceiling` hold.
+
+    Note the coupling this buys its bound with (same trade as the RMA
+    tier): a push does not return until the consumer has pulled the
+    step's rounds, so two programs that each push before pulling a
+    reverse channel must keep that channel point-to-point.
+    """
+
+    def __init__(self, schedule, coll: CollectivePlan, inter, array,
+                 *, tag: int, rank: int | None = None,
+                 peer_map: list[int] | None = None,
+                 pool: BufferPool | None = None):
+        me = rank if rank is not None else inter.rank
+        self._inter = inter
+        self._tag = tag
+        self._ack_tag = tag + ACK_TAG_OFFSET
+        self._peer_map = peer_map
+        self._me = me
+        self._array = array
+        self._coll = coll
+        self._dtype = np.dtype(array.descriptor.dtype)
+        self.pool = pool if pool is not None else BufferPool()
+        plan = schedule.send_plan(me, array.descriptor.local_regions(me))
+        # per round: [(dst, [(sub_plan, lo, hi), ...], total_elems)]
+        self._round_sends: list[list[tuple[int, list, int]]] = []
+        for rnd in range(coll.nrounds):
+            segs = _send_segments(plan, coll, rnd, me,
+                                  lambda i: self._peer(i))
+            by_dst: dict[int, list] = {}
+            for dst, sub, lo, hi in segs:
+                by_dst.setdefault(dst, []).append((sub, lo, hi))
+            self._round_sends.append(
+                [(dst, subs, sum(hi - lo for _, lo, hi in subs))
+                 for dst, subs in sorted(by_dst.items(),
+                                         key=lambda kv: self._peer(kv[0]))])
+        self._awaiting: list[int] = []
+
+    def _peer(self, r: int) -> int:
+        return self._peer_map[r] if self._peer_map is not None else r
+
+    def _wait_acks(self) -> None:
+        awaiting, self._awaiting = self._awaiting, []
+        for dst in awaiting:
+            self._inter.recv(source=self._peer(dst), tag=self._ack_tag)
+
+    def send_round(self, rnd: int) -> int:
+        """Pack and post round ``rnd``'s messages (after draining the
+        previous round's acknowledgements); returns elements sent."""
+        self._wait_acks()
+        flat = self._array.flat_local()
+        moved = 0
+        for dst, subs, total in self._round_sends[rnd]:
+            buf, release = self.pool.loan(
+                ("collsend", self._me, rnd, dst), total, self._dtype)
+            off = 0
+            for sub, lo, hi in subs:
+                n = hi - lo
+                sub.gather_into(flat, buf[off:off + n])
+                off += n
+            self._inter.send(payload.OwnedBuffer(buf, release=release),
+                             dest=self._peer(dst), tag=self._tag)
+            self._awaiting.append(dst)
+            moved += total
+        return moved
+
+    def finish(self) -> None:
+        """Drain the final round's acknowledgements — the step's memory
+        is fully released when this returns."""
+        self._wait_acks()
+
+    def step(self) -> int:
+        """Send one full snapshot: every round, ack-synchronized."""
+        moved = 0
+        for rnd in range(self._coll.nrounds):
+            moved += self.send_round(rnd)
+        self.finish()
+        return moved
+
+    def close(self) -> None:
+        """No persistent resources beyond the pool; kept for engine
+        interface symmetry."""
+        self._awaiting = []
+
+
+class CollectiveReceiver:
+    """Destination half of a memory-bounded persistent channel.
+
+    Per round, preposts one recv-into-destination slot per source (the
+    sink scatters the round buffer through the pair's sub-plans straight
+    into the array's consolidated base — no staging copy), waits for all
+    of them, then acknowledges each source so it may pack the next
+    round."""
+
+    def __init__(self, schedule, coll: CollectivePlan, inter, array,
+                 *, tag: int, rank: int | None = None,
+                 peer_map: list[int] | None = None):
+        me = rank if rank is not None else inter.rank
+        self._inter = inter
+        self._tag = tag
+        self._ack_tag = tag + ACK_TAG_OFFSET
+        self._peer_map = peer_map
+        self._me = me
+        self._array = array
+        self._coll = coll
+        plan = schedule.recv_plan(me, array.descriptor.local_regions(me))
+        # per round: [(src, [(sub_plan, lo, hi), ...], total_elems)]
+        self._round_recvs: list[list[tuple[int, list, int]]] = []
+        for rnd in range(coll.nrounds):
+            segs = _recv_segments(plan, coll, rnd, me,
+                                  lambda i: self._peer(i))
+            by_src: dict[int, list] = {}
+            for src, sub, lo, hi in segs:
+                by_src.setdefault(src, []).append((sub, lo, hi))
+            self._round_recvs.append(
+                [(src, subs, sum(hi - lo for _, lo, hi in subs))
+                 for src, subs in sorted(by_src.items(),
+                                         key=lambda kv: self._peer(kv[0]))])
+
+    def _peer(self, r: int) -> int:
+        return self._peer_map[r] if self._peer_map is not None else r
+
+    def _sink(self, subs, total):
+        flat = self._array.flat_local()
+
+        def sink(values) -> int:
+            vals = np.asarray(values).reshape(-1)
+            if vals.size != total:
+                raise ScheduleError(
+                    f"round buffer holds {vals.size} elements, plan "
+                    f"expects {total}")
+            off = 0
+            done = 0
+            for sub, lo, hi in subs:
+                n = hi - lo
+                done += sub.scatter(flat, vals[off:off + n])
+                off += n
+            return done
+
+        return sink
+
+    def recv_round(self, rnd: int) -> int:
+        """Prepost, complete, and acknowledge round ``rnd``; returns
+        elements received."""
+        slots = [
+            (src, self._inter.prepost_recv(self._sink(subs, total),
+                                           source=self._peer(src),
+                                           tag=self._tag))
+            for src, subs, total in self._round_recvs[rnd]]
+        received = 0
+        for src, slot in slots:
+            received += slot.wait()
+            self._inter.send(None, dest=self._peer(src), tag=self._ack_tag)
+        return received
+
+    def step(self) -> int:
+        """Receive one full snapshot: every round, in order."""
+        return sum(self.recv_round(rnd)
+                   for rnd in range(self._coll.nrounds))
+
+    def close(self) -> None:
+        """Kept for engine interface symmetry."""

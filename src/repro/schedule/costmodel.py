@@ -1,0 +1,156 @@
+"""Planner selection: point-to-point vs memory-bounded collective.
+
+The packed p2p executors are latency-optimal (one message per pair, no
+round synchronization) but their peak transfer memory is the **sum of
+all pair buffers** — on a buffered transport every packed buffer can be
+queued at once.  The collective planner (:mod:`repro.schedule.collplan`)
+caps peak residency at O(round buffer) per rank, at the price of one
+barrier/ack handshake per round.  This module holds the *static* cost
+model that picks between them per (schedule, itemsize, world size):
+
+* ``p2p``: peak resident bytes ≈ total wire bytes of the transfer
+  (every pair's packed buffer simultaneously loaned + queued in the
+  worst case) — the O(pairs) term;
+* ``collective``: peak resident bytes ≤
+  :meth:`~repro.schedule.collplan.CollectivePlan.resident_ceiling`,
+  i.e. twice the sum over sources of their largest single-round send
+  load — the O(local shard + round buffer) term;
+* ``auto`` picks ``collective`` exactly when the p2p estimate exceeds
+  the memory ceiling *and* the collective ceiling actually improves on
+  it, else ``p2p`` (small transfers keep the latency-optimal path).
+
+Both sides of a coupled handshake evaluate the model independently, so
+every input is deterministic: the schedule (already agreed via the
+descriptor handshake), the dtype itemsize, and two knobs read from the
+environment at decision time — ``REPRO_ROUND_BYTES`` (per-rank
+per-round cap, default 64 KiB) and ``REPRO_MEM_CEILING`` (resident
+bytes above which ``auto`` switches, default 1 MiB).  The planner
+itself is forced with ``REPRO_PLANNER={p2p,collective,auto}`` or the
+``planner=`` argument on :meth:`repro.highlevel.Coupler.open` (explicit
+argument wins over the environment; the default is ``p2p``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "PLANNERS",
+    "DEFAULT_ROUND_BYTES",
+    "DEFAULT_MEM_CEILING",
+    "CostEstimate",
+    "resolve_planner",
+    "resolve_round_bytes",
+    "resolve_mem_ceiling",
+    "estimate",
+    "choose_planner",
+]
+
+PLANNERS = ("p2p", "collective", "auto")
+
+#: Per-rank, per-round byte cap for collective round plans (64 KiB —
+#: large enough that pack/copy dominates round overhead, small enough
+#: that a handful of rounds cover typical shards).
+DEFAULT_ROUND_BYTES = 1 << 16
+
+#: Resident-byte threshold above which ``auto`` abandons p2p (1 MiB).
+DEFAULT_MEM_CEILING = 1 << 20
+
+
+def resolve_planner(planner: str | None = None) -> str:
+    """The effective planner name: explicit argument beats
+    ``REPRO_PLANNER`` beats the ``p2p`` default."""
+    if planner is None:
+        planner = os.environ.get("REPRO_PLANNER", "p2p")
+    planner = planner.lower()
+    if planner not in PLANNERS:
+        raise ScheduleError(
+            f"unknown planner {planner!r}: expected one of {PLANNERS}")
+    return planner
+
+
+def resolve_round_bytes(round_bytes: int | None = None) -> int:
+    """The effective per-rank per-round cap (argument, then
+    ``REPRO_ROUND_BYTES``, then the default)."""
+    if round_bytes is None:
+        round_bytes = int(os.environ.get("REPRO_ROUND_BYTES",
+                                         DEFAULT_ROUND_BYTES))
+    round_bytes = int(round_bytes)
+    if round_bytes <= 0:
+        raise ScheduleError(f"round_bytes must be positive, got "
+                            f"{round_bytes}")
+    return round_bytes
+
+
+def resolve_mem_ceiling(mem_ceiling: int | None = None) -> int:
+    """The effective auto-switch threshold (argument, then
+    ``REPRO_MEM_CEILING``, then the default)."""
+    if mem_ceiling is None:
+        mem_ceiling = int(os.environ.get("REPRO_MEM_CEILING",
+                                         DEFAULT_MEM_CEILING))
+    mem_ceiling = int(mem_ceiling)
+    if mem_ceiling <= 0:
+        raise ScheduleError(f"mem_ceiling must be positive, got "
+                            f"{mem_ceiling}")
+    return mem_ceiling
+
+
+@dataclass(frozen=True, slots=True)
+class CostEstimate:
+    """The model's static view of one transfer under both planners."""
+
+    pair_count: int
+    total_bytes: int        # wire bytes of one full transfer
+    p2p_peak_bytes: int     # worst-case resident bytes under p2p
+    coll_peak_bytes: int    # static resident ceiling under collective
+    nrounds: int            # rounds the collective plan needs
+    chosen: str             # "p2p" or "collective"
+
+    @property
+    def savings_ratio(self) -> float:
+        """How much smaller the collective ceiling is (>1 means the
+        collective plan is the tighter bound)."""
+        if self.coll_peak_bytes == 0:
+            return float("inf") if self.p2p_peak_bytes else 1.0
+        return self.p2p_peak_bytes / self.coll_peak_bytes
+
+
+def estimate(schedule, itemsize: int, *, round_bytes: int | None = None,
+             mem_ceiling: int | None = None) -> CostEstimate:
+    """Evaluate both planners for ``schedule`` at ``itemsize`` and pick
+    one under the ``auto`` rule.  Pure: depends only on the schedule,
+    the itemsize, and the resolved knobs, so all ranks and both coupled
+    sides agree without communicating."""
+    round_bytes = resolve_round_bytes(round_bytes)
+    mem_ceiling = resolve_mem_ceiling(mem_ceiling)
+    itemsize = int(itemsize)
+    coll = schedule.collective_plan(itemsize, round_bytes)
+    total = schedule.element_count * itemsize
+    # Buffered-transport worst case: every pair's packed buffer loaned
+    # and queued at once (the A7/A9 one-shot shape).
+    p2p_peak = 2 * total
+    coll_peak = coll.resident_ceiling()
+    chosen = "collective" if (p2p_peak > mem_ceiling
+                              and coll_peak < p2p_peak) else "p2p"
+    return CostEstimate(pair_count=schedule.pair_count,
+                        total_bytes=total,
+                        p2p_peak_bytes=p2p_peak,
+                        coll_peak_bytes=coll_peak,
+                        nrounds=coll.nrounds,
+                        chosen=chosen)
+
+
+def choose_planner(schedule, itemsize: int, *,
+                   planner: str | None = None,
+                   round_bytes: int | None = None,
+                   mem_ceiling: int | None = None) -> str:
+    """Resolve ``planner`` to a concrete execution strategy ("p2p" or
+    "collective"), running the cost model when it is ``auto``."""
+    planner = resolve_planner(planner)
+    if planner != "auto":
+        return planner
+    return estimate(schedule, itemsize, round_bytes=round_bytes,
+                    mem_ceiling=mem_ceiling).chosen

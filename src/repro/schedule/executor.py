@@ -55,6 +55,8 @@ import numpy as np
 from repro.errors import ScheduleError
 from repro.dad.darray import DistributedArray
 from repro.linearize.linearization import Linearization
+from repro.schedule.costmodel import (choose_planner, resolve_planner,
+                                      resolve_round_bytes)
 from repro.schedule.bufpool import BufferPool
 from repro.schedule.plan import CommSchedule, LinearSchedule
 from repro.simmpi import payload
@@ -128,7 +130,9 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
                   dst_array: DistributedArray | None = None,
                   src_ranks: Sequence[int] | None = None,
                   dst_ranks: Sequence[int] | None = None,
-                  tag: int = TRANSFER_TAG, packed: bool = True) -> int:
+                  tag: int = TRANSFER_TAG, packed: bool = True,
+                  planner: str | None = None,
+                  round_bytes: int | None = None) -> int:
     """Run ``schedule`` inside one communicator.
 
     ``src_ranks[i]`` is the comm rank playing source-template rank ``i``
@@ -137,6 +141,16 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
     participating rank must call this collectively with the same
     schedule (and the same ``packed`` setting).  Returns the number of
     elements this rank received.
+
+    ``planner`` selects the execution strategy (explicit argument >
+    ``REPRO_PLANNER`` > ``p2p``): ``p2p`` is the packed point-to-point
+    path below; ``collective`` rewrites the transfer into
+    memory-bounded ``alltoallv`` rounds (:mod:`repro.schedule.
+    collplan`, round cap ``round_bytes``/``REPRO_ROUND_BYTES``);
+    ``auto`` consults the cost model.  The collective path is always
+    packed and ignores ``packed=False``; every rank of ``comm`` must
+    then hold at least one side's array (the rounds are collective over
+    the whole communicator).
     """
     src_ranks = list(src_ranks if src_ranks is not None
                      else range(schedule.src_nranks))
@@ -148,6 +162,25 @@ def execute_intra(schedule: CommSchedule, comm: Communicator,
     if len(dst_ranks) != schedule.dst_nranks:
         raise ScheduleError(
             f"need {schedule.dst_nranks} dest ranks, got {len(dst_ranks)}")
+    planner = resolve_planner(planner)
+    if planner != "p2p":
+        arr = src_array if src_array is not None else dst_array
+        if arr is None:
+            raise ScheduleError(
+                f"rank {comm.rank} resolves planner {planner!r} but holds "
+                f"neither array — collective rounds need every comm rank "
+                f"on at least one side")
+        itemsize = np.dtype(arr.descriptor.dtype).itemsize
+        rb = resolve_round_bytes(round_bytes)
+        if choose_planner(schedule, itemsize,
+                                    planner=planner,
+                                    round_bytes=rb) == "collective":
+            from repro.schedule.collplan import execute_collective_intra
+            coll = schedule.collective_plan(itemsize, rb)
+            return execute_collective_intra(
+                schedule, comm, coll, src_array=src_array,
+                dst_array=dst_array, src_ranks=src_ranks,
+                dst_ranks=dst_ranks)
     src_pos = {rank: i for i, rank in enumerate(src_ranks)}
     dst_pos = {rank: i for i, rank in enumerate(dst_ranks)}
 
@@ -195,7 +228,9 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
                   side: str, array: DistributedArray,
                   *, tag: int = TRANSFER_TAG, rank: int | None = None,
                   peer_map: list[int] | None = None,
-                  packed: bool = True) -> int:
+                  packed: bool = True,
+                  planner: str | None = None,
+                  round_bytes: int | None = None) -> int:
     """Run ``schedule`` across an intercommunicator.
 
     ``side`` is ``"src"`` or ``"dst"``; schedule ranks equal each side's
@@ -205,8 +240,39 @@ def execute_inter(schedule: CommSchedule, inter: Intercommunicator,
     schedule ranks to actual remote ranks for the same reason.  Both
     jobs must agree on ``packed``.  Returns elements sent (src side) or
     received (dst).
+
+    ``planner`` (explicit > ``REPRO_PLANNER`` > ``p2p``): under
+    ``collective`` (or ``auto`` deciding so) the transfer runs as
+    memory-bounded acknowledged rounds via one-step
+    :class:`~repro.schedule.collplan.CollectiveSender`/
+    :class:`~repro.schedule.collplan.CollectiveReceiver` engines.  The
+    ack handshake makes the send side block until the peer consumes
+    each round, so both jobs must drive the transfer concurrently
+    (their own threads/processes); a single-threaded harness must drive
+    the engines' ``send_round``/``recv_round`` directly instead.  The
+    cost model is a pure function of (schedule, dtype, environment), so
+    both sides resolve identically without negotiating.
     """
     me = rank if rank is not None else inter.rank
+    planner = resolve_planner(planner)
+    if planner != "p2p":
+        itemsize = np.dtype(array.descriptor.dtype).itemsize
+        rb = resolve_round_bytes(round_bytes)
+        if choose_planner(schedule, itemsize,
+                                    planner=planner,
+                                    round_bytes=rb) == "collective":
+            from repro.schedule.collplan import (CollectiveReceiver,
+                                                 CollectiveSender)
+            coll = schedule.collective_plan(itemsize, rb)
+            if side == "src":
+                return CollectiveSender(schedule, coll, inter, array,
+                                        tag=tag, rank=rank,
+                                        peer_map=peer_map).step()
+            if side == "dst":
+                return CollectiveReceiver(schedule, coll, inter, array,
+                                          tag=tag, rank=rank,
+                                          peer_map=peer_map).step()
+            raise ValueError(f"side must be 'src' or 'dst', got {side!r}")
 
     def peer(r: int) -> int:
         return peer_map[r] if peer_map is not None else r

@@ -127,6 +127,22 @@ class PairPlan:
         TRANSPORT_STATS.add("bytes_copied", out.nbytes)
         return out
 
+    def sub(self, lo: int, hi: int) -> "PairPlan":
+        """The sub-plan addressing wire-order elements ``[lo, hi)`` of
+        this pair — the collective planner's chunking primitive.  Slice
+        fast paths stay slices (an arithmetic progression restricted to
+        a contiguous index range is still one); index-array pairs
+        re-detect progressions on the restricted range.  Does not count
+        as a fresh compilation in ``PLAN_STATS``."""
+        if not (0 <= lo <= hi <= self.size):
+            raise ScheduleError(
+                f"sub-plan range [{lo}, {hi}) outside pair of size "
+                f"{self.size}")
+        if self.idx is None:
+            return PairPlan(self.peer, hi - lo, self.lo + lo * self.step,
+                            None, self.step)
+        return plan_from_indices(self.peer, self.idx[lo:hi])
+
     def scatter(self, flat_local: np.ndarray, values) -> int:
         """Write a packed buffer back into local storage; returns the
         element count."""

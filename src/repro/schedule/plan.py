@@ -91,6 +91,8 @@ class CommSchedule:
         #: compiled index plans, keyed ("send"/"recv", rank) — see
         #: send_plan/recv_plan.
         self._plans: dict[tuple[str, int], "RankPlan"] = {}
+        #: memoized collective round plans, keyed (itemsize, round_bytes)
+        self._coll_plans: dict[tuple[int, int], object] = {}
 
     # -- per-rank views -------------------------------------------------------
 
@@ -152,6 +154,21 @@ class CommSchedule:
         if plan is None:
             plan = compile_rank_plan(groups, list(owned_regions))
             self._plans[key] = plan
+        return plan
+
+    def collective_plan(self, itemsize: int, round_bytes: int):
+        """The memory-bounded round decomposition of this schedule (see
+        :func:`repro.schedule.collplan.plan_collective_rounds`), memoized
+        per (itemsize, round_bytes) next to the index plans — sound
+        because the decomposition depends only on the schedule's pair
+        sizes."""
+        key = (int(itemsize), int(round_bytes))
+        plan = self._coll_plans.get(key)
+        if plan is None:
+            from repro.schedule.collplan import plan_collective_rounds
+            plan = plan_collective_rounds(self, itemsize=key[0],
+                                          round_bytes=key[1])
+            self._coll_plans[key] = plan
         return plan
 
     # -- persistent-channel engines ------------------------------------------
@@ -257,6 +274,7 @@ class LinearSchedule:
         self._send_groups = [_group_by_peer(lst, length) for lst in sends]
         self._recv_groups = [_group_by_peer(lst, length) for lst in recvs]
         self._plans: dict[tuple[str, int], RankPlan] = {}
+        self._coll_plans: dict[tuple[int, int], object] = {}
 
     def sends_from(self, src: int) -> list[tuple[int, Run]]:
         if not (0 <= src < self.src_nranks):
@@ -313,6 +331,18 @@ class LinearSchedule:
         if plan is None:
             plan = compile_pair_plans(groups, indices_of)
             self._plans[key] = plan
+        return plan
+
+    def collective_plan(self, itemsize: int, round_bytes: int):
+        """Memory-bounded round decomposition (see
+        :meth:`CommSchedule.collective_plan`)."""
+        key = (int(itemsize), int(round_bytes))
+        plan = self._coll_plans.get(key)
+        if plan is None:
+            from repro.schedule.collplan import plan_collective_rounds
+            plan = plan_collective_rounds(self, itemsize=key[0],
+                                          round_bytes=key[1])
+            self._coll_plans[key] = plan
         return plan
 
     @property

@@ -364,8 +364,17 @@ class Communicator:
 
         ``sendbuf[sdispls[j]:sdispls[j]+sendcounts[j]]`` goes to rank j.
         When ``recvcounts`` is None the counts are exchanged first (an
-        extra alltoall), mirroring how DCA's stubs operate (paper §4.3).
-        Returns the concatenated received buffer, ordered by source rank.
+        extra alltoall), mirroring how DCA's stubs operate (paper §4.3);
+        supplying statically known counts (the collective round planner
+        does) skips that exchange entirely.  Returns the concatenated
+        received buffer, ordered by source rank.
+
+        Zero-count segments exchange **no message** in either direction
+        (MPI semantics: an empty segment is not a transfer), so sparse
+        communication patterns cost messages proportional to their
+        nonzero pairs, and a 1-rank world moves no messages at all.
+        ``sendbuf`` may be any 1-D view — non-contiguous (strided)
+        segments are canonicalized before hitting the wire.
         """
         sendbuf = np.asarray(sendbuf)
         if sendbuf.ndim != 1:
@@ -373,28 +382,45 @@ class Communicator:
         if len(sendcounts) != self.size:
             raise CommunicatorError(
                 f"alltoallv needs {self.size} sendcounts, got {len(sendcounts)}")
+        if any(c < 0 for c in sendcounts):
+            raise CommunicatorError("alltoallv sendcounts must be >= 0")
         if sdispls is None:
             sdispls = np.concatenate(([0], np.cumsum(sendcounts)[:-1])).tolist()
+        elif len(sdispls) != self.size:
+            raise CommunicatorError(
+                f"alltoallv needs {self.size} sdispls, got {len(sdispls)}")
+        for r in range(self.size):
+            if sdispls[r] + sendcounts[r] > sendbuf.shape[0]:
+                raise CommunicatorError(
+                    f"alltoallv: segment for rank {r} "
+                    f"([{sdispls[r]}, {sdispls[r] + sendcounts[r]})) "
+                    f"overruns sendbuf of size {sendbuf.shape[0]}")
         if recvcounts is None:
             recvcounts = self.alltoall(list(sendcounts))
+        elif len(recvcounts) != self.size:
+            raise CommunicatorError(
+                f"alltoallv needs {self.size} recvcounts, got {len(recvcounts)}")
         tag = self._next_coll_tag()
         for r in range(self.size):
-            if r != self._rank:
+            if r != self._rank and sendcounts[r]:
                 chunk = sendbuf[sdispls[r]:sdispls[r] + sendcounts[r]]
-                self.send(chunk, r, tag)
-        parts: list[np.ndarray | None] = [None] * self.size
+                # Canonicalize strided views: the wire carries (and the
+                # receiver concatenates) contiguous buffers.
+                self.send(np.ascontiguousarray(chunk), r, tag)
+        empty = sendbuf[:0].copy()
+        parts: list[np.ndarray] = [empty] * self.size
         own = sendbuf[sdispls[self._rank]:
                       sdispls[self._rank] + sendcounts[self._rank]]
-        parts[self._rank] = own.copy()
+        if own.shape[0]:
+            parts[self._rank] = own.copy()
         for r in range(self.size):
-            if r != self._rank:
-                parts[r] = self.recv(r, tag)
-        received = [np.asarray(p) for p in parts]
-        for r, (p, c) in enumerate(zip(received, recvcounts)):
+            if r != self._rank and recvcounts[r]:
+                parts[r] = np.asarray(self.recv(r, tag))
+        for r, (p, c) in enumerate(zip(parts, recvcounts)):
             if p.shape[0] != c:
                 raise CommunicatorError(
                     f"alltoallv: expected {c} items from rank {r}, got {p.shape[0]}")
-        return np.concatenate(received) if received else sendbuf[:0].copy()
+        return np.concatenate(parts) if parts else empty
 
     def reduce(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum",
                root: int = 0) -> Any:

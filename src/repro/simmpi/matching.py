@@ -217,6 +217,9 @@ class Mailbox:
             self._seq += 1
             env.seq = self._seq
             self._messages.append(env)
+            # queued (unconsumed) bytes are resident transfer memory —
+            # the O(pairs) term the collective planner exists to bound.
+            TRANSPORT_STATS.gauge_add("resident_bytes", env.nbytes)
             self._progress()
             self._cond.notify_all()
 
@@ -262,6 +265,7 @@ class Mailbox:
             idx = self._find(context, source, tag)
             if idx is not None:
                 env = self._messages.pop(idx)
+                TRANSPORT_STATS.gauge_add("resident_bytes", -env.nbytes)
                 slot._complete(env.payload)
                 if env.release is not None:
                     env.release()
@@ -332,6 +336,8 @@ class Mailbox:
                     idx = self._find(context, source, tag)
                     if idx is not None:
                         env = self._messages.pop(idx)
+                        TRANSPORT_STATS.gauge_add("resident_bytes",
+                                                  -env.nbytes)
                         TRANSPORT_STATS.add("messages_matched")
                         self._progress()
                         return env

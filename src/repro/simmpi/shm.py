@@ -45,7 +45,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.util.counters import Counters
+from repro.util.counters import Counters, TRANSPORT_STATS
 
 __all__ = ["SegmentPool", "SharedState", "WindowSegment",
            "encode_payload", "decode_payload"]
@@ -131,6 +131,11 @@ class SegmentPool:
             if self._flags[s] == _FREE:
                 self._flags[s] = _BUSY
                 self.stats.add("reuses")
+                # gauges are per process: acquire charges the sender's
+                # process, release credits the receiver's — each side's
+                # peak_* reflects the slots it held/consumed.
+                TRANSPORT_STATS.gauge_add("slot_bytes", self.slot_bytes)
+                TRANSPORT_STATS.gauge_add("resident_bytes", self.slot_bytes)
                 return s
         self.stats.add("ring_full")
         return None
@@ -139,6 +144,8 @@ class SegmentPool:
         """Receiver side: mark ``slot`` consumed (reusable by its owner)."""
         self._flags[slot] = _FREE
         self.stats.add("releases")
+        TRANSPORT_STATS.gauge_add("slot_bytes", -self.slot_bytes)
+        TRANSPORT_STATS.gauge_add("resident_bytes", -self.slot_bytes)
 
     def slot_view(self, slot: int, nbytes: int) -> np.ndarray:
         """A uint8 view of the first ``nbytes`` of ``slot``'s payload."""

@@ -22,6 +22,20 @@ class Counters:
         with self._lock:
             self._data[name] += int(amount)
 
+    def gauge_add(self, name: str, delta: int) -> None:
+        """Move a *level* gauge by ``delta`` and maintain its high-water
+        mark: ``name`` tracks the current level, ``peak_<name>`` the
+        maximum level ever observed (both under one lock, so concurrent
+        acquire/release races can never record a stale peak).  Resetting
+        the counters zeroes both — reset around a measured section, as
+        with plain counters."""
+        with self._lock:
+            level = self._data[name] + int(delta)
+            self._data[name] = level
+            peak = "peak_" + name
+            if level > self._data[peak]:
+                self._data[peak] = level
+
     def get(self, name: str) -> int:
         with self._lock:
             return self._data.get(name, 0)
@@ -54,4 +68,18 @@ class Counters:
 #: a not-yet-open epoch.  A persistent channel in RMA mode should show
 #: zero matched messages per steady-state step — that delta is the A9
 #: benchmark's headline metric.
+#:
+#: Memory gauges (maintained with :meth:`Counters.gauge_add`, each with
+#: a ``peak_``-prefixed high-water twin): ``pool_bytes`` — bytes on
+#: loan from :class:`~repro.schedule.bufpool.BufferPool`\ s,
+#: ``slot_bytes`` — shared-memory slots held BUSY in a
+#: :class:`~repro.simmpi.shm.SegmentPool`, and ``resident_bytes`` —
+#: the sum of both plus every envelope queued in a mailbox awaiting its
+#: receiver.  ``peak_resident_bytes`` is therefore the process-wide
+#: transfer-buffer footprint high-water mark the A10 memory-ceiling
+#: benchmark gates on (per process: the threads backend sums all rank
+#: threads, the procs backend counts each rank's own process).  A
+#: pooled buffer travelling inside a queued envelope is counted by both
+#: the pool and the queue until its release fires — a deliberately
+#: conservative upper bound.
 TRANSPORT_STATS = Counters()

@@ -34,6 +34,14 @@ over ``src/``:
   :meth:`~repro.verify.commgraph.CommProgram.epoch_violations`.
   Heuristic by name on purpose: queue ``.put`` receivers (``q``,
   ``results``, ``broker_q``) never look like windows.
+* **V106 — per-pair allocation without a pool loan.**  A size-dependent
+  array allocation (``np.empty``/``zeros``/``ones``/``full``) inside a
+  loop over communication pairs (``for pp in plan.pairs``,
+  ``for pair in ...``) allocates O(pairs) buffers per transfer — the
+  exact footprint the :class:`~repro.schedule.bufpool.BufferPool` and
+  the collective round planner exist to avoid.  Loops that loan from a
+  pool (any ``.loan(...)`` call in the loop body) are exempt, as are
+  constant-size allocations (empty placeholders).
 
 A line can opt out with a ``# verify: allow(V10x)`` pragma naming the
 rule.  :func:`lint_paths` walks files or directories and returns
@@ -58,6 +66,7 @@ RULES = {
     "V103": "Raw payload constructed in a procs-backend module",
     "V104": "time.sleep polling loop in transport code",
     "V105": "one-sided put into a window with no epoch guard in scope",
+    "V106": "per-pair allocation in a pair loop without a pool loan",
 }
 
 #: Epoch verbs that license a later ``.put`` in the same function.
@@ -247,6 +256,56 @@ def _check_unexposed_put(func: ast.AST) -> Iterator[tuple[int, str]]:
                    f"an exposure epoch")
 
 
+#: Allocation callables whose result is a fresh per-iteration buffer.
+_ALLOC_NAMES = {"empty", "zeros", "ones", "full"}
+
+#: Loop-variable / iterable name fragment marking a pair loop.
+_PAIR_NAME_RE = re.compile(r"pair", re.IGNORECASE)
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name):
+            yield n.id
+        elif isinstance(n, ast.Attribute):
+            yield n.attr
+
+
+def _is_pair_loop(loop: ast.For) -> bool:
+    """A ``for`` loop whose target or iterable names communication
+    pairs: ``for pp in plan.pairs``, ``for pair in ...``,
+    ``for s, d in pairs``."""
+    if any(_PAIR_NAME_RE.search(name) or name == "pp"
+           for name in _names_in(loop.target)):
+        return True
+    return any(_PAIR_NAME_RE.search(name)
+               for name in _names_in(loop.iter))
+
+
+def _check_pair_loop_alloc(tree: ast.AST) -> Iterator[tuple[int, str]]:
+    """V106: size-dependent allocation inside a pair loop whose body
+    never loans from a pool."""
+    for loop in ast.walk(tree):
+        if not (isinstance(loop, ast.For) and _is_pair_loop(loop)):
+            continue
+        body = ast.Module(body=loop.body, type_ignores=[])
+        calls = [n for n in ast.walk(body) if isinstance(n, ast.Call)]
+        if any(isinstance(c.func, ast.Attribute) and c.func.attr == "loan"
+               for c in calls):
+            continue
+        for call in calls:
+            if _call_name(call) not in _ALLOC_NAMES:
+                continue
+            # Constant-size allocations (e.g. np.empty(0, ...)) are
+            # placeholders, not per-pair staging buffers.
+            if call.args and isinstance(call.args[0], ast.Constant):
+                continue
+            yield (call.lineno,
+                   f"{_call_name(call)}() allocates per pair inside a "
+                   f"pair loop with no pool loan — O(pairs) transfer "
+                   f"footprint; loan the buffer from a BufferPool")
+
+
 def lint_source(source: str, path: str = "<string>",
                 relpath: str | None = None) -> list[LintViolation]:
     """Run every rule over one module's source text."""
@@ -267,6 +326,8 @@ def lint_source(source: str, path: str = "<string>",
                 for ln, msg in _check_raw_in_procs(tree, relpath))
     hits.extend((ln, "V104", msg)
                 for ln, msg in _check_sleep_loops(tree))
+    hits.extend((ln, "V106", msg)
+                for ln, msg in _check_pair_loop_alloc(tree))
 
     out = []
     for line, rule, message in sorted(hits):

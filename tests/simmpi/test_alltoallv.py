@@ -1,0 +1,145 @@
+"""Edge-case and property tests for Communicator.alltoallv.
+
+The collective round planner leans on alltoallv semantics that MPI
+guarantees but are easy to get wrong in a simulated runtime: zero-count
+segments exchange no message, non-contiguous views are canonicalized
+before hitting the wire, and a 1-rank world degenerates to a local copy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicatorError
+from repro.simmpi import run_spmd
+
+
+def _exchange(nranks, counts, dtype=np.float64, recv_known=False):
+    """Run one alltoallv over a counts matrix; counts[i][j] goes i->j.
+
+    Each rank fills its segment for rank j with ``rank * 10 + j``
+    (small enough to fit uint8) so the receiver can verify both the
+    source and the intended destination of every element.
+    """
+
+    def main(comm):
+        me = comm.rank
+        sendcounts = counts[me]
+        buf = np.concatenate(
+            [np.full(c, me * 10 + j, dtype=dtype)
+             for j, c in enumerate(sendcounts)] or
+            [np.empty(0, dtype=dtype)])
+        recvcounts = [counts[j][me] for j in range(nranks)]
+        out = comm.alltoallv(
+            buf, sendcounts,
+            recvcounts=recvcounts if recv_known else None)
+        expected = np.concatenate(
+            [np.full(counts[j][me], j * 10 + me, dtype=dtype)
+             for j in range(nranks)] or [np.empty(0, dtype=dtype)])
+        np.testing.assert_array_equal(out, expected)
+        assert out.dtype == np.dtype(dtype)
+        return out.shape[0]
+
+    return run_spmd(nranks, main)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_random_counts_with_zeros_round_trip(data):
+    nranks = data.draw(st.integers(min_value=1, max_value=5))
+    counts = data.draw(st.lists(
+        st.lists(st.integers(min_value=0, max_value=6),
+                 min_size=nranks, max_size=nranks),
+        min_size=nranks, max_size=nranks))
+    recv_known = data.draw(st.booleans())
+    dtype = data.draw(st.sampled_from([np.float64, np.int64, np.float32,
+                                       np.uint8]))
+    got = _exchange(nranks, counts, dtype=dtype, recv_known=recv_known)
+    assert got == [sum(counts[j][me] for j in range(nranks))
+                   for me in range(nranks)]
+
+
+def test_all_zero_counts_move_nothing():
+    zeros = [[0, 0, 0]] * 3
+    assert _exchange(3, zeros) == [0, 0, 0]
+
+
+def test_single_rank_world_is_local_copy():
+    def main(comm):
+        buf = np.arange(7.0)
+        out = comm.alltoallv(buf, [7])
+        buf[:] = -1.0  # result must not alias the send buffer
+        np.testing.assert_array_equal(out, np.arange(7.0))
+        return True
+
+    assert run_spmd(1, main) == [True]
+
+
+def test_noncontiguous_strided_sendbuf():
+    def main(comm):
+        base = np.arange(12.0) + comm.rank * 100
+        view = base[::2]  # stride-2 view, 6 elements
+        assert not view.flags["C_CONTIGUOUS"]
+        out = comm.alltoallv(view, [3, 3])
+        # rank r receives segment r from every rank, in rank order
+        seg = np.arange(12.0)[::2]
+        want = np.concatenate([seg[3 * comm.rank:3 * comm.rank + 3] + s * 100
+                               for s in range(2)])
+        np.testing.assert_array_equal(out, want)
+        return True
+
+    assert all(run_spmd(2, main))
+
+
+def test_explicit_displacements_can_reorder_and_overlap():
+    def main(comm):
+        buf = np.arange(10.0)
+        # send buf[4:7] to rank 0 and buf[0:3] to rank 1, out of order
+        out = comm.alltoallv(buf, [3, 3], sdispls=[4, 0])
+        seg = [np.arange(4.0, 7.0), np.arange(0.0, 3.0)][comm.rank]
+        np.testing.assert_array_equal(out, np.concatenate([seg, seg]))
+        return True
+
+    assert all(run_spmd(2, main))
+
+
+def test_recvcounts_none_matches_explicit():
+    counts = [[2, 0, 1], [0, 0, 4], [3, 1, 0]]
+    assert (_exchange(3, counts, recv_known=False)
+            == _exchange(3, counts, recv_known=True))
+
+
+class TestValidation:
+    @staticmethod
+    def _expect_error(nranks, fn):
+        def main(comm):
+            with pytest.raises(CommunicatorError):
+                fn(comm)
+            return True
+
+        assert all(run_spmd(nranks, main))
+
+    def test_rejects_2d_sendbuf(self):
+        self._expect_error(
+            1, lambda c: c.alltoallv(np.zeros((2, 2)), [4]))
+
+    def test_rejects_wrong_sendcounts_length(self):
+        self._expect_error(
+            2, lambda c: c.alltoallv(np.zeros(4), [2, 1, 1]))
+
+    def test_rejects_negative_counts(self):
+        self._expect_error(
+            2, lambda c: c.alltoallv(np.zeros(4), [-1, 2]))
+
+    def test_rejects_wrong_sdispls_length(self):
+        self._expect_error(
+            2, lambda c: c.alltoallv(np.zeros(4), [2, 2], sdispls=[0]))
+
+    def test_rejects_segment_overrun(self):
+        self._expect_error(
+            2, lambda c: c.alltoallv(np.zeros(4), [2, 3]))
+
+    def test_rejects_wrong_recvcounts_length(self):
+        self._expect_error(
+            2, lambda c: c.alltoallv(np.zeros(4), [2, 2],
+                                     recvcounts=[2, 2, 2]))

@@ -45,3 +45,65 @@ def test_thread_safety():
     for t in threads:
         t.join()
     assert c.get("hits") == n * per
+
+
+def test_gauge_add_tracks_level_and_peak():
+    c = Counters()
+    c.gauge_add("resident_bytes", 100)
+    c.gauge_add("resident_bytes", 50)
+    assert c.get("resident_bytes") == 150
+    assert c.get("peak_resident_bytes") == 150
+    c.gauge_add("resident_bytes", -150)
+    assert c.get("resident_bytes") == 0
+    # the high-water mark survives the release
+    assert c.get("peak_resident_bytes") == 150
+    c.gauge_add("resident_bytes", 20)
+    assert c.get("peak_resident_bytes") == 150  # lower levels never lower it
+
+
+def test_gauge_reset_zeroes_level_and_peak():
+    c = Counters()
+    c.gauge_add("pool_bytes", 64)
+    c.reset()
+    assert c.get("pool_bytes") == 0
+    assert c.get("peak_pool_bytes") == 0
+
+
+def test_gauge_thread_safety_peak_never_stale():
+    c = Counters()
+    n, per, amount = 8, 500, 16
+
+    def worker():
+        for _ in range(per):
+            c.gauge_add("g", amount)
+            c.gauge_add("g", -amount)
+
+    threads = [threading.Thread(target=worker) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.get("g") == 0
+    peak = c.get("peak_g")
+    assert amount <= peak <= n * amount
+
+
+def test_buffer_pool_moves_memory_gauges():
+    import numpy as np
+
+    from repro.schedule.bufpool import BufferPool
+    from repro.util.counters import TRANSPORT_STATS
+
+    TRANSPORT_STATS.reset()
+    pool = BufferPool()
+    buf, release = pool.loan("k", 32, np.dtype(np.float64))
+    nbytes = buf.nbytes
+    assert TRANSPORT_STATS.get("pool_bytes") == nbytes
+    assert TRANSPORT_STATS.get("resident_bytes") == nbytes
+    release()
+    assert TRANSPORT_STATS.get("pool_bytes") == 0
+    assert TRANSPORT_STATS.get("resident_bytes") == 0
+    # peaks persist as the section's high-water mark
+    assert TRANSPORT_STATS.get("peak_pool_bytes") == nbytes
+    assert TRANSPORT_STATS.get("peak_resident_bytes") == nbytes
+    TRANSPORT_STATS.reset()

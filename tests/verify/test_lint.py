@@ -163,3 +163,62 @@ def test_v105_allow_pragma():
             rwin.put(values)  # verify: allow(V105)
     """)
     assert hits == []
+
+
+# -- V106: per-pair allocation without a pool loan ---------------------------
+
+def test_v106_alloc_in_pair_loop():
+    hits = lint("""
+        def pack_all(plan):
+            for pp in plan.pairs:
+                buf = np.empty(pp.element_count, np.float64)
+                fill(buf, pp)
+    """)
+    assert [h.rule for h in hits] == ["V106"]
+    assert "pool loan" in hits[0].message
+
+
+def test_v106_fires_on_pair_named_iterable():
+    hits = lint("""
+        def stage(schedule):
+            for src, dst in schedule.rank_pairs():
+                out = np.zeros(count_for(src, dst))
+    """)
+    assert [h.rule for h in hits] == ["V106"]
+
+
+def test_v106_pool_loan_in_body_is_clean():
+    hits = lint("""
+        def pack_all(plan, pool):
+            for pp in plan.pairs:
+                buf, release = pool.loan(pp.key, pp.element_count, pp.dtype)
+                fill(buf, pp)
+    """)
+    assert hits == []
+
+
+def test_v106_constant_size_alloc_is_clean():
+    hits = lint("""
+        def placeholders(plan):
+            for pair in plan.pairs:
+                sentinel = np.empty(0, np.float64)
+    """)
+    assert hits == []
+
+
+def test_v106_nonpair_loop_is_clean():
+    hits = lint("""
+        def chunked(items):
+            for item in items:
+                buf = np.empty(item.size)
+    """)
+    assert hits == []
+
+
+def test_v106_pragma_opts_out():
+    hits = lint("""
+        def pack_once(plan):
+            for pp in plan.pairs:
+                buf = np.empty(pp.element_count)  # verify: allow(V106)
+    """)
+    assert hits == []
