@@ -44,6 +44,7 @@ EXPERIMENTS = [
     ("A8", "bench_multicore_scaling"),
     ("A9", "bench_rma_steady_state"),
     ("A10", "bench_collective_memory"),
+    ("A11", "bench_prmi_serving"),
 ]
 
 

@@ -50,6 +50,16 @@ class DistArrayDescriptor:
         self.mode = mode
         self._region_cache: dict[int, RegionList] = {}
 
+    def __getstate__(self):
+        # The region memo is rebuilt on demand and, on the threads
+        # backend, may be concurrently filled by sibling ranks of a
+        # shared descriptor while rank 0 pickles it for the handshake —
+        # serializing it would race (and ship O(extent) regions for
+        # cyclic templates for nothing).
+        state = dict(self.__dict__)
+        state["_region_cache"] = {}
+        return state
+
     # -- layout queries (the DAD run-time interface) -----------------------
 
     @property

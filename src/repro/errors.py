@@ -123,6 +123,12 @@ class OneWayReturnError(PRMIError):
     """A one-way method declared a return value or out argument."""
 
 
+class ServerOverloaded(PRMIError):
+    """Admission control refused an invocation: the bounded in-flight
+    queue (caller-side credit or the serve loop's ingress queue) was
+    full and the overflow policy is ``"raise"`` rather than block."""
+
+
 class CoordinationError(ReproError):
     """InterComm-style coordination spec mismatch or matching failure."""
 

@@ -17,10 +17,30 @@ SCIRun2-flavoured PRMI model:
 
 The DCA variant (subset participation via communicators, barrier-before-
 delivery, alltoall-style parallel data) lives in :mod:`repro.dca`.
+
+The high-throughput serving tier (:mod:`repro.prmi.serving`) layers an
+event-driven serve loop, adaptive invocation batching
+(:mod:`repro.prmi.frames`), pipelined futures, backpressure, and
+per-method transmission policies (:mod:`repro.prmi.policy`) on top of
+the lockstep endpoints.
 """
 
 from repro.prmi.args import LazyParallelArg, ParallelArg
 from repro.prmi.endpoint import CalleeEndpoint, CallerEndpoint, InvocationStats
+from repro.prmi.frames import FrameError, decode_frame, encode_frame
+from repro.prmi.policy import (
+    Batched,
+    CachedRead,
+    OneWay,
+    PolicyTable,
+    Sync,
+    TransmissionPolicy,
+)
+from repro.prmi.serving import (
+    InvocationFuture,
+    InvocationPipeline,
+    ServerLoop,
+)
 
 __all__ = [
     "ParallelArg",
@@ -28,4 +48,16 @@ __all__ = [
     "CallerEndpoint",
     "CalleeEndpoint",
     "InvocationStats",
+    "encode_frame",
+    "decode_frame",
+    "FrameError",
+    "TransmissionPolicy",
+    "Sync",
+    "OneWay",
+    "Batched",
+    "CachedRead",
+    "PolicyTable",
+    "ServerLoop",
+    "InvocationPipeline",
+    "InvocationFuture",
 ]

@@ -56,13 +56,20 @@ class InvocationStats:
     ghost_returns: int = 0
     merged_invocations: int = 0
     simple_checks: int = 0
+    subset_engagements: int = 0
 
 
 def _args_equal(a: Any, b: Any) -> bool:
-    """Structural equality that tolerates NumPy values."""
+    """Structural equality that tolerates NumPy values.
+
+    Arrays must match in dtype as well as shape and contents:
+    ``np.array_equal`` calls ``float32([1,2]) == float64([1,2])`` equal,
+    but the cohorts would build byte-incompatible schedules from them.
+    """
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
         return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
-                and a.shape == b.shape and bool(np.array_equal(a, b)))
+                and a.shape == b.shape and a.dtype == b.dtype
+                and bool(np.array_equal(a, b)))
     if isinstance(a, dict) and isinstance(b, dict):
         return (a.keys() == b.keys()
                 and all(_args_equal(a[k], b[k]) for k in a))
@@ -161,10 +168,23 @@ class CallerEndpoint:
         if not ranks or ranks[0] < 0 or ranks[-1] >= self.local_comm.size:
             raise PRMIError(f"invalid subset {ranks} for cohort of "
                             f"{self.local_comm.size}")
+        self.stats.subset_engagements += 1
         if self.local_comm.rank == 0:
-            for callee in range(self.n):
-                self.inter.send(("subset", ranks),
-                                dest=callee, tag=SUBSET_TAG)
+            # One inter-job message: callee rank 0 relays the
+            # announcement down a binomial tree over its own cohort
+            # (N-1 local hops in log N rounds instead of N sequential
+            # inter sends from here).  The ack comes back only after
+            # every callee rank has installed the new caller map, so no
+            # post-subset invocation — released by the barrier below —
+            # can reach a callee still holding the old map (the
+            # event-driven serve loop would otherwise gather fragments
+            # under stale merge ownership).
+            self.inter.send(("subset", ranks), dest=0, tag=SUBSET_TAG)
+            kind, acked = self.inter.recv(source=0, tag=SUBSET_TAG)
+            if kind != "subset-ack" or list(acked) != ranks:
+                raise PRMIError(
+                    f"subset handshake mismatch: sent {ranks}, "
+                    f"acked {kind!r} {acked!r}")
         pcomm = self.local_comm.create_subcomm(ranks)
         self.local_comm.barrier()
         return CallerEndpoint(self.local_comm, self.inter, self.port_type,
@@ -211,6 +231,24 @@ class CallerEndpoint:
         Returns the callee's return value (every caller gets one);
         one-way methods return ``None`` immediately.
         """
+        sent = self._invoke_send(method, kwargs)
+        if sent is None:
+            return None
+        spec, me = sent
+        if spec.oneway:
+            return None
+        return self.inter.recv(source=me % self.n, tag=RETURN_TAG)
+
+    def _invoke_send(self, method: str,
+                     kwargs: dict) -> tuple[MethodSpec, int] | None:
+        """The send half of :meth:`invoke`: ship the invocation
+        fragments and serve the callee's pulls, but do **not** receive
+        the return value.  Returns ``(spec, effective caller rank)``, or
+        ``None`` when this rank is subset out.  The pipelined path
+        (:class:`repro.prmi.serving.InvocationPipeline`) defers only the
+        return receive — argument pulls stay synchronous, so parallel
+        arguments may be reused or freed as soon as this returns.
+        """
         spec = self.port_type.method(method)
         if spec.invocation != "collective":
             raise PRMIError(
@@ -250,9 +288,7 @@ class CallerEndpoint:
             execute_inter(sched, self.inter, "src", arg.darray,
                           tag=DATA_TAG, rank=me)
 
-        if spec.oneway:
-            return None
-        return self.inter.recv(source=me % self.n, tag=RETURN_TAG)
+        return spec, me
 
     # -- independent invocation -------------------------------------------------
 
@@ -340,11 +376,37 @@ class CalleeEndpoint:
         """Complete the caller side's :meth:`CallerEndpoint.engage_subset`.
 
         Every callee rank must call this; returns the new participant
-        list (actual caller cohort ranks)."""
-        kind, ranks = self.inter.recv(source=0, tag=SUBSET_TAG)
+        list (actual caller cohort ranks).  Only rank 0 hears from the
+        caller job — the announcement fans out over a binomial tree on
+        the local communicator (tag :data:`SUBSET_TAG` in both hops).
+        """
+        me = self.local_comm.rank
+        if me == 0:
+            announcement = self.inter.recv(source=0, tag=SUBSET_TAG)
+        else:
+            parent = me - (me & -me)
+            announcement = self.local_comm.recv(parent, SUBSET_TAG)
+        return self._install_subset(announcement)
+
+    def _install_subset(self, announcement: Any) -> list[int]:
+        """Relay a subset announcement to this rank's tree children,
+        adopt the new caller map, and join the install barrier (rank 0
+        then acks the caller side).  Shared with the serve loop, which
+        receives the announcement event-driven rather than blocking."""
+        kind, ranks = announcement
         if kind != "subset":  # pragma: no cover - protocol guard
             raise PRMIError(f"expected subset announcement, got {kind!r}")
+        me = self.local_comm.rank
+        for child in self.local_comm._tree_children(me, self.local_comm.size):
+            self.local_comm.send(announcement, child, SUBSET_TAG)
         self._caller_map = list(ranks)
+        self.stats.subset_engagements += 1
+        # Every rank holds the new map before the ack releases the
+        # callers' post-subset traffic.
+        self.local_comm.barrier()
+        if me == 0:
+            self.inter.send(("subset-ack", list(ranks)), dest=0,
+                            tag=SUBSET_TAG)
         return self._caller_map
 
     def set_param_layout(self, method: str, param: str,
@@ -395,11 +457,19 @@ class CalleeEndpoint:
         Every callee rank must call this together.  Returns the method
         name serviced (useful for serve loops and tests).
         """
-        me = self.local_comm.rank
         callers = self._expected_callers()
-        expected = len(callers)
         invocations = [self.inter.recv(source=mm, tag=INVOKE_TAG)
                        for mm in callers]
+        return self._dispatch_collective(invocations)
+
+    def _dispatch_collective(self, invocations: list[Any]) -> str:
+        """Merge, execute, and answer already-received invocation
+        fragments (one per expected caller, in
+        :meth:`_expected_callers` order).  Split from :meth:`serve_one`
+        so the event-driven serve loop can receive the fragments through
+        ``wait_any`` and dispatch here."""
+        me = self.local_comm.rank
+        expected = len(invocations)
         method, simple, parallel_meta, pull_root = invocations[0]
         self._pull_root = pull_root
         for other_method, other_simple, _, _ in invocations[1:]:
@@ -458,9 +528,28 @@ class CalleeEndpoint:
         """Service one independent (one-to-one) invocation on this rank."""
         (method, kwargs), status = self.inter.recv(
             tag=IND_TAG, return_status=True)
+        return self._dispatch_independent(method, kwargs, status.source)
+
+    def execute_local(self, method: str, kwargs: dict) -> tuple[MethodSpec, Any]:
+        """Run one simple-argument method body on this rank and return
+        ``(spec, packaged result)`` without touching the wire — the
+        execution core shared by :meth:`serve_independent` and the batch
+        frame path (whose replies coalesce into one frame)."""
         spec = self.port_type.method(method)
+        if spec.parallel_params:
+            raise PRMIError(
+                f"method {method!r} declares parallel parameters; framed "
+                f"and independent requests carry simple arguments only")
         self.stats.calls += 1
         result = _package_result(spec, getattr(self.impl, method)(**kwargs))
+        return spec, result
+
+    def _dispatch_independent(self, method: str, kwargs: dict,
+                              source: int) -> str:
+        """Execute an already-received independent request from remote
+        rank ``source`` and send its reply (split from
+        :meth:`serve_independent` for the event-driven serve loop)."""
+        spec, result = self.execute_local(method, kwargs)
         if not spec.oneway:
-            self.inter.send(result, dest=status.source, tag=IND_RETURN_TAG)
+            self.inter.send(result, dest=source, tag=IND_RETURN_TAG)
         return method

@@ -1,0 +1,156 @@
+"""Batch frame codec: many invocations, one wire message.
+
+The request-at-a-time PRMI path pays one pickled transport message per
+invocation, so at high invocation rates the per-message overhead —
+serialization, matching, wakeups — dominates the wire bytes.  Following
+the message-combining idiom of :mod:`repro.schedule.packing` (one
+contiguous buffer per communicating pair, positional layout agreed
+without metadata exchange), a *batch frame* coalesces every request a
+(caller, callee) pair exchanges per flush into one message:
+
+``[u64 header length | header | padded, packed array payloads]``
+
+The header is **one** pickle for the whole frame: the entry list with
+every NumPy array leaf replaced by an :class:`_ArrayRef` index, plus the
+(shape, dtype, offset, nbytes) table of the packed payload region.
+Array bytes are packed back-to-back (16-byte aligned) after the header,
+so decoding reconstructs each array as a zero-copy view into the
+received frame — no per-request pickling on either side, which is
+exactly what lint rule V107 enforces everywhere else.
+
+Entries are ``(seq, name, payload)`` triples and deliberately
+direction-agnostic: the caller encodes ``(seq, method, kwargs)`` request
+frames, the serve loop encodes ``(seq, status, value)`` reply frames
+with the same codec.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["encode_frame", "decode_frame", "FrameError"]
+
+#: Alignment of each packed array payload (bytes) — keeps decoded views
+#: aligned for every native dtype.
+_ALIGN = 16
+
+_LEN = struct.Struct("<Q")
+
+
+class FrameError(ValueError):
+    """A frame failed to decode (truncated or corrupt)."""
+
+
+class _ArrayRef:
+    """Placeholder for an extracted array leaf: index into the frame's
+    payload table."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def __reduce__(self):
+        return (_ArrayRef, (self.index,))
+
+
+def _extract(value: Any, arrays: list[np.ndarray]) -> Any:
+    """Replace every packable ndarray leaf in ``value`` with an
+    :class:`_ArrayRef`, appending the leaves to ``arrays``.  Containers
+    are rebuilt (the caller's objects are never mutated); object-dtype
+    arrays stay in the pickled header — raw bytes cannot carry them."""
+    if isinstance(value, np.ndarray) and value.dtype != object:
+        # ascontiguousarray promotes 0-d to 1-d; reshape restores it.
+        arrays.append(np.ascontiguousarray(value).reshape(value.shape))
+        return _ArrayRef(len(arrays) - 1)
+    if isinstance(value, dict):
+        return {k: _extract(v, arrays) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return tuple(_extract(v, arrays) for v in value)
+    if isinstance(value, list):
+        return [_extract(v, arrays) for v in value]
+    return value
+
+
+def _restore(value: Any, arrays: Sequence[np.ndarray]) -> Any:
+    if isinstance(value, _ArrayRef):
+        return arrays[value.index]
+    if isinstance(value, dict):
+        return {k: _restore(v, arrays) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return tuple(_restore(v, arrays) for v in value)
+    if isinstance(value, list):
+        return [_restore(v, arrays) for v in value]
+    return value
+
+
+def _pad(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def encode_frame(entries: Sequence[tuple[int, str, Any]]) -> np.ndarray:
+    """Encode ``(seq, name, payload)`` entries into one frame buffer.
+
+    Returns a 1-D ``uint8`` array (transports treat it as raw bytes; on
+    the procs backend it rides a shared-memory slot untouched).
+    """
+    arrays: list[np.ndarray] = []
+    wire_entries = [(int(seq), name, _extract(payload, arrays))
+                    for seq, name, payload in entries]
+    metas = []
+    offset = 0
+    for arr in arrays:
+        offset = _pad(offset)
+        metas.append((arr.shape, arr.dtype.str, offset, arr.nbytes))
+        offset += arr.nbytes
+    header = pickle.dumps((wire_entries, metas),
+                          protocol=pickle.HIGHEST_PROTOCOL)
+    payload_base = _pad(_LEN.size + len(header))
+    frame = np.zeros(payload_base + offset, dtype=np.uint8)
+    frame[:_LEN.size] = np.frombuffer(_LEN.pack(len(header)), dtype=np.uint8)
+    frame[_LEN.size:_LEN.size + len(header)] = np.frombuffer(
+        header, dtype=np.uint8)
+    for arr, (_shape, _dt, off, nbytes) in zip(arrays, metas):
+        if nbytes:
+            frame[payload_base + off:payload_base + off + nbytes] = \
+                arr.reshape(-1).view(np.uint8)
+    return frame
+
+
+def decode_frame(frame: Any) -> list[tuple[int, str, Any]]:
+    """Decode a frame back into its ``(seq, name, payload)`` entries.
+
+    Array leaves come back as views into ``frame`` (zero-copy decode)
+    when ``frame`` is a writable buffer, read-only views otherwise —
+    either way no per-request deserialization happens.
+    """
+    buf = memoryview(np.asarray(frame).reshape(-1).view(np.uint8))
+    if len(buf) < _LEN.size:
+        raise FrameError(f"frame of {len(buf)} bytes has no header length")
+    (hlen,) = _LEN.unpack(buf[:_LEN.size])
+    if _LEN.size + hlen > len(buf):
+        raise FrameError(
+            f"frame header claims {hlen} bytes but only "
+            f"{len(buf) - _LEN.size} follow — truncated frame")
+    try:
+        wire_entries, metas = pickle.loads(buf[_LEN.size:_LEN.size + hlen])
+    except Exception as exc:  # noqa: BLE001 - surface as protocol error
+        raise FrameError(f"frame header failed to unpickle: {exc}") from exc
+    payload_base = _pad(_LEN.size + hlen)
+    arrays: list[np.ndarray] = []
+    for shape, dtype_str, off, nbytes in metas:
+        end = payload_base + off + nbytes
+        if end > len(buf):
+            raise FrameError(
+                f"frame payload table overruns the buffer "
+                f"({end} > {len(buf)})")
+        arr = np.frombuffer(buf, dtype=np.dtype(dtype_str),
+                            count=nbytes // np.dtype(dtype_str).itemsize,
+                            offset=payload_base + off).reshape(shape)
+        arrays.append(arr)
+    return [(seq, name, _restore(payload, arrays))
+            for seq, name, payload in wire_entries]

@@ -1,0 +1,603 @@
+"""High-throughput PRMI serving: event-driven loop, batching, pipelining.
+
+The base endpoints (:mod:`repro.prmi.endpoint`) run lockstep: the callee
+cohort calls ``serve_one``/``serve_independent`` knowing what arrives
+next, and every invocation pays one transport message each way plus a
+blocked caller.  This module adds the serving tier the ROADMAP's
+production-scale north star needs:
+
+* :class:`ServerLoop` — the callee side blocks in **one**
+  ``wait_any`` across every ingress stream (batch frames, independent
+  invocations, collective fragments, subset announcements, shutdown
+  tokens) and dispatches whatever arrives, instead of committing to one
+  protocol per call site.
+* :class:`InvocationPipeline` — the caller side coalesces independent
+  invocations into batch frames (:mod:`repro.prmi.frames`), returns
+  :class:`InvocationFuture`\\ s instead of blocking per call, and
+  enforces backpressure with a bounded in-flight window.  Transmission
+  policy (:mod:`repro.prmi.policy`) is chosen per method, orthogonal to
+  the method implementation.
+
+Wire protocol
+-------------
+
+Framed streams live in the tag band ``[FRAME_TAG_BASE,
+INTERNAL_TAG_BASE)`` (:func:`repro.simmpi.constants.frame_tag`), so
+they can never collide with application tags or the per-message PRMI
+tags 100–106:
+
+========================  =======================================
+stream                    carries
+========================  =======================================
+``frame_tag(0)``          request frames, caller → callee
+``frame_tag(1)``          reply frames, callee → caller
+``frame_tag(2)``          shutdown tokens, caller → callee
+========================  =======================================
+
+A request frame holds ``(seq, method, kwargs)`` entries; ``seq ==
+NOREPLY_SEQ`` flags fire-and-forget entries the server must not answer.
+Each request frame with at least one reply-expecting entry produces
+exactly **one** reply frame of ``(seq, status, value)`` entries, status
+``"ok"`` / ``"err"`` (value is the raised exception) / ``"overload"``
+(admission control refused the request).  Because a ``(source, tag)``
+stream is FIFO, sequence numbers arrive in submission order and the
+caller resolves futures by popping its per-callee queue.
+
+Deadlock freedom: the flush deadline (``delay_us``) bounds how long a
+request can sit unsent, and the serve loop drains request frames ahead
+of committing to a collective gather — see the ``prmi_*`` models in
+:mod:`repro.verify.commgraph` for the checked argument.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+from repro.errors import PRMIError, ServerOverloaded
+from repro.prmi.endpoint import (
+    CalleeEndpoint,
+    CallerEndpoint,
+    IND_TAG,
+    INVOKE_TAG,
+    RETURN_TAG,
+    SUBSET_TAG,
+)
+from repro.prmi.frames import decode_frame, encode_frame
+from repro.prmi.policy import (
+    Batched,
+    CachedRead,
+    PolicyTable,
+    resolve_batch_delay_us,
+    resolve_batch_max,
+    resolve_inflight_max,
+)
+from repro.simmpi.constants import ANY_SOURCE, frame_tag
+from repro.util.counters import PRMI_LATENCY, PRMI_STATS
+
+__all__ = [
+    "ServerLoop",
+    "InvocationPipeline",
+    "InvocationFuture",
+    "REQUEST_STREAM",
+    "REPLY_STREAM",
+    "CONTROL_STREAM",
+    "NOREPLY_SEQ",
+]
+
+#: Framed-protocol stream ids (see module docstring).
+REQUEST_STREAM = 0
+REPLY_STREAM = 1
+CONTROL_STREAM = 2
+
+#: Sequence number of fire-and-forget request entries (no reply travels).
+NOREPLY_SEQ = -1
+
+
+class InvocationFuture:
+    """A pipelined invocation's eventual result.
+
+    Futures resolve lazily: :meth:`result` drains reply traffic (FIFO
+    per source stream) until this future settles — there is no
+    background thread.  Latency from submission to settlement is
+    recorded in :data:`~repro.util.counters.PRMI_LATENCY`.
+    """
+
+    __slots__ = ("method", "seq", "_resolve", "_t0", "_done",
+                 "_value", "_error", "_source")
+
+    def __init__(self, method: str, seq: int, resolve=None):
+        self.method = method
+        self.seq = seq
+        self._resolve = resolve
+        self._t0 = time.perf_counter()
+        self._done = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._source = -1
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        """Block until the reply arrives; return the value or raise the
+        error the server shipped (:class:`ServerOverloaded` when
+        admission control refused the request)."""
+        if not self._done:
+            if self._resolve is None:  # pragma: no cover - guard
+                raise PRMIError(
+                    f"future for {self.method!r} has no resolver")
+            self._resolve(self)
+            if not self._done:  # pragma: no cover - protocol guard
+                raise PRMIError(
+                    f"reply stream drained without settling "
+                    f"{self.method!r} seq {self.seq}")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _settle(self, value: Any = None,
+                error: BaseException | None = None) -> None:
+        self._done = True
+        self._value = value
+        self._error = error
+        PRMI_LATENCY.record(time.perf_counter() - self._t0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = ("error" if self._error is not None else
+                 "done" if self._done else "pending")
+        return f"InvocationFuture({self.method!r}, seq={self.seq}, {state})"
+
+
+def _completed(method: str, value: Any) -> InvocationFuture:
+    fut = InvocationFuture(method, NOREPLY_SEQ)
+    fut._settle(value=value)
+    return fut
+
+
+class ServerLoop:
+    """Event-driven callee serving: one blocked wait, every stream.
+
+    Every callee rank runs :meth:`serve_forever` together.  The loop
+    exits once a shutdown token has arrived from every remote rank
+    (each caller's :meth:`InvocationPipeline.close` sends one to every
+    callee).  ``queue_max`` bounds the ingress queue: when one greedy
+    drain of the request stream uncovers more requests than the cap,
+    the excess are refused with ``"overload"`` replies (fire-and-forget
+    excess is dropped) — the admission-control half of backpressure.
+    """
+
+    def __init__(self, callee: CalleeEndpoint, *,
+                 queue_max: int | None = None):
+        self.callee = callee
+        self.inter = callee.inter
+        self.queue_max = resolve_inflight_max(queue_max)
+        self._stopped: set[int] = set()
+        #: Dispatch tallies, returned by :meth:`serve_forever`.
+        self.served = {"collective": 0, "independent": 0, "frames": 0,
+                       "requests": 0, "overloads": 0, "errors": 0,
+                       "subsets": 0}
+
+    # -- ingress specs -------------------------------------------------------
+
+    def _specs(self) -> list[tuple[int, int, int]]:
+        """Match specs for one wait, in priority order: ``wait_any``
+        scans them first-to-last each wake, so request frames drain
+        ahead of collective fragments (a caller blocked on a batched
+        reply can never stall another caller's collective gather), and
+        shutdown tokens rank last so no work is abandoned."""
+        ictx = self.inter.recv_context
+        me = self.callee.local_comm.rank
+        specs = [(ictx, ANY_SOURCE, frame_tag(REQUEST_STREAM)),
+                 (ictx, ANY_SOURCE, IND_TAG)]
+        if me == 0:
+            # Subset announcements enter the cohort at rank 0 and fan
+            # out over the local binomial tree (endpoint.accept_subset).
+            specs.append((ictx, 0, SUBSET_TAG))
+        else:
+            parent = me - (me & -me)
+            specs.append((self.callee.local_comm.context, parent,
+                          SUBSET_TAG))
+        specs.extend((ictx, mm, INVOKE_TAG)
+                     for mm in self.callee._expected_callers())
+        specs.append((ictx, ANY_SOURCE, frame_tag(CONTROL_STREAM)))
+        return specs
+
+    # -- loop ----------------------------------------------------------------
+
+    def serve_forever(self) -> dict[str, int]:
+        """Serve until every remote rank has sent its shutdown token;
+        returns the dispatch tallies."""
+        want = self.inter.remote_size
+        while len(self._stopped) < want:
+            env = self.inter.wait_any(self._specs())
+            self._handle(env)
+        return dict(self.served)
+
+    def serve_events(self, count: int) -> dict[str, int]:
+        """Serve exactly ``count`` ingress events (tests/benchmarks that
+        drive the loop without a shutdown phase)."""
+        for _ in range(count):
+            env = self.inter.wait_any(self._specs())
+            self._handle(env)
+        return dict(self.served)
+
+    def _handle(self, env) -> None:
+        tag = env.tag
+        if tag == frame_tag(REQUEST_STREAM):
+            self._on_request_frames(env)
+        elif tag == IND_TAG:
+            method, kwargs = env.payload
+            self.callee._dispatch_independent(method, kwargs, env.source)
+            self.served["independent"] += 1
+        elif tag == SUBSET_TAG:
+            self.callee._install_subset(env.payload)
+            self.served["subsets"] += 1
+        elif tag == INVOKE_TAG:
+            self._on_collective(env)
+        elif tag == frame_tag(CONTROL_STREAM):
+            self._stopped.add(env.source)
+        else:  # pragma: no cover - spec list and handlers in lockstep
+            raise PRMIError(f"serve loop matched unexpected tag {tag}")
+
+    def _on_collective(self, env) -> None:
+        """One fragment arrived; gather the rest of the collective
+        invocation (its callers are committed by the collective
+        contract) and dispatch."""
+        invocations = [env.payload if mm == env.source
+                       else self.inter.recv(source=mm, tag=INVOKE_TAG)
+                       for mm in self.callee._expected_callers()]
+        self.callee._dispatch_collective(invocations)
+        self.served["collective"] += 1
+
+    def _on_request_frames(self, env) -> None:
+        """Decode and execute batch frames; one reply frame per ingress
+        frame that expects any reply.
+
+        All frames already queued are drained greedily so the admission
+        decision sees the true ingress depth; requests beyond
+        ``queue_max`` are refused with ``"overload"`` status.
+        """
+        frames = [(env.source, decode_frame(env.payload))]
+        while True:
+            st = self.inter.iprobe(tag=frame_tag(REQUEST_STREAM))
+            if st is None:
+                break
+            buf = self.inter.recv(source=st.source,
+                                  tag=frame_tag(REQUEST_STREAM))
+            frames.append((st.source, decode_frame(buf)))
+        depth = sum(len(entries) for _, entries in frames)
+        PRMI_STATS.gauge_add("queue_depth", depth)
+        try:
+            budget = self.queue_max
+            for source, entries in frames:
+                replies: list[tuple[int, str, Any]] = []
+                for seq, method, kwargs in entries:
+                    self.served["requests"] += 1
+                    if budget <= 0:
+                        self.served["overloads"] += 1
+                        PRMI_STATS.add("overloads")
+                        if seq != NOREPLY_SEQ:
+                            replies.append((seq, "overload",
+                                            f"ingress queue cap "
+                                            f"{self.queue_max} exceeded"))
+                        continue
+                    budget -= 1
+                    try:
+                        _spec, result = self.callee.execute_local(
+                            method, kwargs)
+                    except Exception as exc:  # noqa: BLE001 - shipped back
+                        self.served["errors"] += 1
+                        if seq != NOREPLY_SEQ:
+                            replies.append((seq, "err", exc))
+                        continue
+                    if seq != NOREPLY_SEQ:
+                        replies.append((seq, "ok", result))
+                if replies:
+                    self.inter.send(encode_frame(replies), dest=source,
+                                    tag=frame_tag(REPLY_STREAM))
+                self.served["frames"] += 1
+        finally:
+            PRMI_STATS.gauge_add("queue_depth", -depth)
+
+
+class InvocationPipeline:
+    """Caller-side batching, pipelining, and backpressure.
+
+    Wraps a :class:`CallerEndpoint` whose callee cohort runs a
+    :class:`ServerLoop`.  :meth:`submit` routes an independent
+    invocation through its method's transmission policy; batched
+    requests coalesce into one frame per (caller, callee) flush, and
+    :meth:`invoke_collective` pipelines collective calls by deferring
+    only the return receive.  ``inflight_max`` bounds
+    submitted-but-unresolved invocations: at the cap, ``overflow="block"``
+    resolves the oldest future to make room and ``overflow="raise"``
+    raises :class:`ServerOverloaded` at the call site.
+    """
+
+    def __init__(self, caller: CallerEndpoint, *,
+                 policies: PolicyTable | None = None,
+                 batch_max: int | None = None,
+                 delay_us: int | None = None,
+                 inflight_max: int | None = None,
+                 overflow: str = "block"):
+        if overflow not in ("block", "raise"):
+            raise PRMIError(
+                f"overflow policy must be 'block' or 'raise', "
+                f"got {overflow!r}")
+        self.caller = caller
+        self.inter = caller.inter
+        self.policies = policies if policies is not None else PolicyTable()
+        self.batch_max = resolve_batch_max(batch_max)
+        self.delay_us = resolve_batch_delay_us(delay_us)
+        self.inflight_max = resolve_inflight_max(inflight_max)
+        self.overflow = overflow
+        #: callee -> [(seq, method, kwargs, future-or-None)], unsent.
+        self._pending: dict[int, list] = {}
+        #: callee -> perf_counter() when its oldest pending was queued.
+        self._pending_t0: dict[int, float] = {}
+        #: callee -> futures awaiting reply-frame entries, FIFO.
+        self._awaiting: dict[int, deque] = {}
+        #: pipelined collective futures, FIFO (single return stream).
+        self._collective: deque = deque()
+        self._seq = 0
+        self._inflight = 0
+        self._closed = False
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _inc_inflight(self) -> None:
+        self._inflight += 1
+        PRMI_STATS.gauge_add("inflight", 1)
+
+    def _dec_inflight(self) -> None:
+        self._inflight -= 1
+        PRMI_STATS.gauge_add("inflight", -1)
+
+    def _admit(self) -> None:
+        while self._inflight >= self.inflight_max:
+            if self.overflow == "raise":
+                PRMI_STATS.add("overloads")
+                raise ServerOverloaded(
+                    f"{self._inflight} invocations in flight >= "
+                    f"inflight_max {self.inflight_max}")
+            self._resolve_oldest()
+
+    def _resolve_oldest(self) -> None:
+        """Make room under the in-flight cap by settling the oldest
+        outstanding future (errors stay in the future for its owner)."""
+        for callee, queue in self._awaiting.items():
+            if queue:
+                self._drain_replies(callee, queue[0])
+                return
+        if self._collective:
+            self._drain_collective(self._collective[0])
+            return
+        if any(self._pending.values()):
+            # Nothing awaits yet — ship the pending batches first; their
+            # no-reply entries leave the window at flush time.
+            self.flush()
+            return
+        raise PRMIError(  # pragma: no cover - accounting guard
+            "in-flight window full but nothing pending or awaited")
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, method: str, callee_rank: int,
+               **kwargs: Any) -> InvocationFuture | None:
+        """Route one independent invocation through its transmission
+        policy.  Returns an :class:`InvocationFuture` (already settled
+        for sync/cached policies), or ``None`` when no reply will travel
+        (one-way methods, :class:`~repro.prmi.policy.OneWay` policy)."""
+        if self._closed:
+            raise PRMIError("pipeline is closed")
+        spec = self.caller.port_type.method(method)
+        if spec.invocation != "independent":
+            raise PRMIError(
+                f"method {method!r} is declared collective; use "
+                f"invoke_collective")
+        if spec.parallel_params:
+            raise PRMIError(
+                "pipelined independent invocations cannot carry "
+                "parallel arguments")
+        policy = self.policies.for_method(spec)
+        expects_reply = policy.expects_reply(spec)
+        cached = isinstance(policy, CachedRead)
+        if cached:
+            hit, value = policy.lookup(method, kwargs)
+            if hit:
+                return _completed(method, value)
+        self._admit()
+        PRMI_STATS.add("invocations")
+        self.caller.stats.calls += 1
+        if expects_reply:
+            fut = InvocationFuture(
+                method, self._seq,
+                resolve=lambda f, c=callee_rank: self._ensure_resolved(c, f))
+            self._seq += 1
+        else:
+            fut = None
+        pend = self._pending.setdefault(callee_rank, [])
+        if not pend:
+            self._pending_t0[callee_rank] = time.perf_counter()
+        pend.append((fut.seq if fut is not None else NOREPLY_SEQ,
+                     method, kwargs, fut))
+        self._inc_inflight()
+        if not policy.batched:
+            self._flush_callee(callee_rank, "flush_forced")
+        else:
+            bmax = policy.batch_max if isinstance(policy, Batched) \
+                else self.batch_max
+            delay = policy.delay_us if isinstance(policy, Batched) \
+                else self.delay_us
+            if len(pend) >= bmax:
+                self._flush_callee(callee_rank, "flush_full")
+            else:
+                age_us = (time.perf_counter()
+                          - self._pending_t0[callee_rank]) * 1e6
+                if age_us >= delay:
+                    self._flush_callee(callee_rank, "flush_deadline")
+        if fut is not None and not policy.batched:
+            # Sync / cached-read contract: the reply is awaited before
+            # submit returns (the future comes back already settled).
+            self._drain_replies(callee_rank, fut)
+            if cached and fut._error is None:
+                policy.store(method, kwargs, fut._value)
+        return fut
+
+    def invoke_collective(self, method: str,
+                          **kwargs: Any) -> InvocationFuture:
+        """Pipelined collective invocation: ship the fragments and serve
+        the argument pulls now, defer only the return receive.  Pending
+        batches flush first so per-callee program order is preserved.
+        Returns an already-settled future for one-way methods and on
+        subset-out ranks."""
+        if self._closed:
+            raise PRMIError("pipeline is closed")
+        self.flush()
+        sent = self.caller._invoke_send(method, kwargs)
+        if sent is None:
+            return _completed(method, None)
+        spec, me = sent
+        if spec.oneway:
+            return _completed(method, None)
+        self._admit()
+        PRMI_STATS.add("invocations")
+        PRMI_STATS.add("pipelined_calls")
+        fut = InvocationFuture(method, self._seq,
+                               resolve=self._drain_collective)
+        self._seq += 1
+        fut._source = me % self.caller.n
+        self._collective.append(fut)
+        self._inc_inflight()
+        return fut
+
+    # -- flushing ------------------------------------------------------------
+
+    def flush(self, callee_rank: int | None = None) -> None:
+        """Force-ship pending batches (one callee, or all of them)."""
+        targets = ([callee_rank] if callee_rank is not None
+                   else [c for c, p in self._pending.items() if p])
+        for callee in targets:
+            self._flush_callee(callee, "flush_forced")
+
+    def poll(self) -> None:
+        """Deadline sweep: flush every pending batch whose oldest
+        request has waited at least ``delay_us``.  Flush triggers are
+        otherwise evaluated at submit time (there is no background
+        flusher thread) — long gaps between submits should poll."""
+        now = time.perf_counter()
+        for callee, t0 in list(self._pending_t0.items()):
+            if self._pending.get(callee) and (now - t0) * 1e6 >= self.delay_us:
+                self._flush_callee(callee, "flush_deadline")
+
+    def _flush_callee(self, callee: int, reason: str) -> None:
+        pend = self._pending.get(callee)
+        if not pend:
+            return
+        self._pending[callee] = []
+        self._pending_t0.pop(callee, None)
+        frame = encode_frame([(seq, method, kwargs)
+                              for seq, method, kwargs, _fut in pend])
+        PRMI_STATS.add("frames_sent")
+        PRMI_STATS.add("frame_requests", len(pend))
+        PRMI_STATS.add("frame_bytes", frame.nbytes)
+        PRMI_STATS.add(reason)
+        self.inter.send(frame, dest=callee, tag=frame_tag(REQUEST_STREAM))
+        queue = self._awaiting.setdefault(callee, deque())
+        for _seq, _method, _kwargs, fut in pend:
+            if fut is not None:
+                queue.append(fut)
+            else:
+                # Fire-and-forget: leaves the in-flight window when the
+                # request hits the wire.
+                self._dec_inflight()
+
+    # -- resolution ----------------------------------------------------------
+
+    def _ensure_resolved(self, callee: int, target: InvocationFuture) -> None:
+        if any(entry[3] is target
+               for entry in self._pending.get(callee, ())):
+            self._flush_callee(callee, "flush_forced")
+        self._drain_replies(callee, target)
+
+    def _drain_replies(self, callee: int,
+                       target: InvocationFuture | None = None) -> None:
+        """Receive reply frames from ``callee``, settling futures FIFO,
+        until ``target`` settles (or, with no target, until nothing is
+        awaited from that callee)."""
+        queue = self._awaiting.get(callee)
+        if queue is None:
+            return
+        while queue and (target is None or not target._done):
+            buf = self.inter.recv(source=callee,
+                                  tag=frame_tag(REPLY_STREAM))
+            for seq, status, value in decode_frame(buf):
+                if not queue:  # pragma: no cover - protocol guard
+                    raise PRMIError(
+                        f"reply frame entry seq {seq} with no future "
+                        f"awaiting callee {callee}")
+                fut = queue.popleft()
+                if fut.seq != seq:  # pragma: no cover - protocol guard
+                    raise PRMIError(
+                        f"reply stream out of order: expected seq "
+                        f"{fut.seq}, got {seq}")
+                if status == "ok":
+                    fut._settle(value=value)
+                elif status == "overload":
+                    fut._settle(error=ServerOverloaded(str(value)))
+                else:
+                    fut._settle(error=value if isinstance(value, BaseException)
+                                else PRMIError(str(value)))
+                self._dec_inflight()
+
+    def _drain_collective(self, target: InvocationFuture) -> None:
+        """Settle pipelined collective futures FIFO until ``target``
+        settles — returns arrive in invocation order on the per-source
+        RETURN stream."""
+        while not target._done:
+            if not self._collective:  # pragma: no cover - protocol guard
+                raise PRMIError("collective future not in pipeline order")
+            fut = self._collective.popleft()
+            value = self.inter.recv(source=fut._source, tag=RETURN_TAG)
+            fut._settle(value=value)
+            self._dec_inflight()
+
+    def drain(self) -> None:
+        """Flush and settle everything outstanding.  Errors are kept in
+        their futures (raised when their owners call ``result()``)."""
+        self.flush()
+        for callee in list(self._awaiting):
+            self._drain_replies(callee)
+        while self._collective:
+            self._drain_collective(self._collective[-1])
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def engage_subset(self, ranks: list[int]) -> CallerEndpoint:
+        """Drain the pipeline, then engage the sub-setting mechanism
+        (collective over the full caller cohort); the pipeline continues
+        on the new endpoint.  The callee's :class:`ServerLoop` picks up
+        the announcement event-driven — no serve-side call needed."""
+        self.drain()
+        self.caller = self.caller.engage_subset(ranks)
+        return self.caller
+
+    def close(self) -> None:
+        """Drain, then send one shutdown token to every callee rank
+        (the :class:`ServerLoop` exits once every caller has closed)."""
+        if self._closed:
+            return
+        self.drain()
+        for callee in range(self.inter.remote_size):
+            self.inter.send("stop", dest=callee,
+                            tag=frame_tag(CONTROL_STREAM))
+        self._closed = True
+
+    def __enter__(self) -> "InvocationPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()

@@ -173,6 +173,14 @@ class Intercommunicator:
     def remote_size(self) -> int:
         return self._remote.size
 
+    @property
+    def recv_context(self) -> int:
+        """The context id this side matches incoming traffic on —
+        public so multi-stream receivers (the PRMI serve loop) can
+        compose :meth:`wait_any` specs mixing this intercommunicator
+        with intra-communicator contexts."""
+        return self._recv_context
+
     def _my_mailbox(self) -> Mailbox:
         job_rank = self.local_comm.job_ranks[self.local_comm.rank]
         return self.local_comm.job.transport.mailbox(job_rank)
@@ -213,6 +221,17 @@ class Intercommunicator:
                 self._recv_context, source, tag, timeout=timeout)
             return env.payload, Status(env.source, env.tag, env.nbytes)
         return Request(completer)
+
+    def wait_any(self, specs, *, timeout: float | None = None) -> Envelope:
+        """Block until a message matches any ``(context, source, tag)``
+        spec and return its :class:`~repro.simmpi.matching.Envelope`.
+
+        Contexts may name this intercommunicator's :attr:`recv_context`
+        or any intra-communicator context of the same rank — one blocked
+        wait drains every ingress stream an event-driven server watches
+        (see :class:`repro.prmi.serving.ServerLoop`).
+        """
+        return self._my_mailbox().wait_match_any(specs, timeout=timeout)
 
     def iprobe(self, source: int = ANY_SOURCE,
                tag: int = ANY_TAG) -> Optional[Status]:

@@ -362,6 +362,65 @@ class Mailbox:
         finally:
             self._block_state(self.rank, None)
 
+    def wait_match_any(self, specs: "list[tuple[int, int, int]]",
+                       *, timeout: float | None = None) -> Envelope:
+        """Block until an envelope matches *any* ``(context, source,
+        tag)`` spec, then remove and return it (earliest spec wins when
+        several match, FIFO within a spec).
+
+        The event-driven serve-loop primitive: one blocked wait covers
+        every ingress stream a server drains (collective invocations
+        from its expected callers, batch frames from any source, control
+        traffic), instead of one lockstep ``recv`` per stream.  Raises
+        :class:`DeadlockError` on watchdog abort exactly like
+        :meth:`wait_match`.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ValueError("wait_match_any needs at least one spec")
+        desc = "recv_any(" + ", ".join(
+            f"(context={c}, "
+            f"source={'ANY' if s == ANY_SOURCE else s}, "
+            f"tag={'ANY' if t == ANY_TAG else t})"
+            for c, s, t in specs) + ")"
+        limit = None if timeout is None else (
+            threading.TIMEOUT_MAX if timeout <= 0 else timeout)
+        start = time.monotonic()
+        self._block_state(self.rank, desc)
+        blocked = False
+        try:
+            with self._cond:
+                while True:
+                    for context, source, tag in specs:
+                        idx = self._find(context, source, tag)
+                        if idx is not None:
+                            env = self._messages.pop(idx)
+                            TRANSPORT_STATS.gauge_add("resident_bytes",
+                                                      -env.nbytes)
+                            TRANSPORT_STATS.add("messages_matched")
+                            self._progress()
+                            return env
+                    if not blocked:
+                        TRANSPORT_STATS.add("rendezvous_waits")
+                        blocked = True
+                    if self._abort.is_set():
+                        raise DeadlockError(
+                            f"rank {self.rank} aborted while blocked in "
+                            f"{desc}: {self._abort.reason}",
+                            blocked=self._abort.blocked_dump,
+                        )
+                    if limit is None:
+                        self._cond.wait()
+                    else:
+                        waited = time.monotonic() - start
+                        if waited >= limit:
+                            raise TimeoutError(
+                                f"rank {self.rank}: no match for {desc} "
+                                f"after {waited:.2f}s")
+                        self._cond.wait(limit - waited)
+        finally:
+            self._block_state(self.rank, None)
+
     def probe(self, context: int, source: int, tag: int) -> Optional[Envelope]:
         """Non-destructive match test (MPI_Iprobe analogue)."""
         with self._lock:

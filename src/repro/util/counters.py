@@ -8,6 +8,7 @@ wall-clock time (which on a thread-simulated runtime is only indicative).
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from collections import defaultdict
 
 
@@ -83,3 +84,92 @@ class Counters:
 #: the pool and the queue until its release fires — a deliberately
 #: conservative upper bound.
 TRANSPORT_STATS = Counters()
+
+
+class Histogram:
+    """Thread-safe log-spaced latency histogram (microsecond domain).
+
+    Buckets grow geometrically from 1 µs to ~17 s (×2 per bucket), which
+    keeps recording O(log n) and percentile error under a factor of two
+    — plenty for p50/p99 serving-latency floors whose regressions are
+    order-of-magnitude events.  ``record`` takes seconds (what
+    ``time.perf_counter`` subtraction yields); ``percentile`` returns
+    microseconds (the upper edge of the bucket holding the quantile).
+    """
+
+    #: Bucket upper edges in microseconds: 1, 2, 4, ... 2**24.
+    EDGES = tuple(float(1 << i) for i in range(25))
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets = [0] * (len(self.EDGES) + 1)
+        self._count = 0
+        self._sum_us = 0.0
+
+    def record(self, seconds: float) -> None:
+        us = seconds * 1e6
+        idx = bisect_left(self.EDGES, us)
+        with self._lock:
+            self._buckets[idx] += 1
+            self._count += 1
+            self._sum_us += us
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def mean_us(self) -> float:
+        with self._lock:
+            return self._sum_us / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket edge (µs) at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            seen = 0
+            for i, c in enumerate(self._buckets):
+                seen += c
+                if seen >= target and c:
+                    return (self.EDGES[i] if i < len(self.EDGES)
+                            else self.EDGES[-1] * 2)
+            return self.EDGES[-1] * 2
+
+    def snapshot(self) -> dict[str, float]:
+        return {"count": self.count, "mean_us": self.mean_us(),
+                "p50_us": self.percentile(0.50),
+                "p99_us": self.percentile(0.99)}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets = [0] * (len(self.EDGES) + 1)
+            self._count = 0
+            self._sum_us = 0.0
+
+
+#: Process-wide PRMI serving accounting (:mod:`repro.prmi.serving`).
+#:
+#: Counters: ``invocations`` — requests admitted by a pipeline (batched,
+#: sync, one-way and pipelined-collective alike), ``frames_sent`` /
+#: ``frame_requests`` — coalesced frames and the requests they carry
+#: (their ratio is the batch occupancy the A11 benchmark reports),
+#: ``frame_bytes`` — encoded frame payload bytes, ``flush_full`` /
+#: ``flush_deadline`` / ``flush_forced`` — why each flush fired (batch
+#: cap, ``REPRO_BATCH_DELAY_US`` deadline, or an explicit
+#: ``flush()``/``result()``), ``pipelined_calls`` — collective
+#: invocations whose RETURN wait was deferred to a future,
+#: ``cached_read_hits`` — invocations answered from a CachedRead policy
+#: without touching the wire, ``overloads`` — admissions refused by
+#: backpressure (caller-side credit or the server's bounded queue).
+#:
+#: Gauge (via :meth:`Counters.gauge_add`): ``inflight`` — submitted-but-
+#: unresolved requests across pipelines; ``peak_inflight`` is the queue
+#: depth high-water mark the serving benchmark records.
+PRMI_STATS = Counters()
+
+#: Caller-observed request latency (submit → resolved), µs buckets.
+PRMI_LATENCY = Histogram()

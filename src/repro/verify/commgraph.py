@@ -73,6 +73,9 @@ __all__ = [
     "transfer_model",
     "fig5_model",
     "rma_channel_model",
+    "prmi_serving_model",
+    "prmi_pipeline_model",
+    "prmi_batch_deadlock_model",
 ]
 
 
@@ -666,4 +669,89 @@ def rma_channel_model(steps: int = 1, *,
         prog.fence(win, (src,))
         prog.read(win)
         prog.put(src, win)
+    return prog
+
+
+# -- PRMI serving-tier models (repro.prmi.serving) ---------------------------
+
+#: Tags standing in for the framed request / reply streams
+#: (``frame_tag(REQUEST_STREAM)`` / ``frame_tag(REPLY_STREAM)``).
+_REQ = 1
+_REP = 2
+
+
+def prmi_serving_model(callers: int = 2,
+                       flushes: int = 2) -> CommProgram:
+    """The batched serving protocol of
+    :class:`~repro.prmi.serving.InvocationPipeline` against a
+    :class:`~repro.prmi.serving.ServerLoop`.
+
+    Each caller ships ``flushes`` request frames up front (flush
+    triggers never wait on replies — buffered sends), the server
+    answers each ingress frame with exactly one reply frame, and the
+    callers resolve their futures afterwards.  Deadlock-free for every
+    interleaving: the one-reply-frame-per-request-frame rule means no
+    reply a caller awaits can be gated on traffic that caller has not
+    already sent.
+    """
+    prog = CommProgram()
+    server = prog.proc("server", 0)
+    cs = prog.procs("callers", callers)
+    for c in cs:
+        for _ in range(flushes):
+            prog.send(c, server, _REQ)
+    for c in cs:
+        for _ in range(flushes):
+            prog.recv(server, c, _REQ)
+            prog.send(server, c, _REP)
+    for c in cs:
+        for _ in range(flushes):
+            prog.recv(c, server, _REP)
+    return prog
+
+
+def prmi_pipeline_model(depth: int = 3) -> CommProgram:
+    """Pipelined collective invocation: the caller ships ``depth``
+    invocation headers back-to-back (futures defer the return receive),
+    then drains the returns in FIFO order; the callee services and
+    answers them in arrival order.  Deadlock-free because returns
+    travel on a per-source FIFO stream and the caller resolves futures
+    in submission order — the protocol
+    :meth:`~repro.prmi.serving.InvocationPipeline.invoke_collective`
+    implements."""
+    prog = CommProgram()
+    caller = prog.proc("caller", 0)
+    callee = prog.proc("callee", 0)
+    for _ in range(depth):
+        prog.send(caller, callee, _REQ)
+    for _ in range(depth):
+        prog.recv(callee, caller, _REQ)
+        prog.send(callee, caller, _REP)
+    for _ in range(depth):
+        prog.recv(caller, callee, _REP)
+    return prog
+
+
+def prmi_batch_deadlock_model() -> CommProgram:
+    """The hazard the flush deadline and per-frame replies exist to
+    prevent: a server that holds replies until it has accumulated a
+    *second* ingress frame (reply batching with no deadline), facing a
+    caller that blocks on its first future before flushing again.
+
+    The caller awaits a reply gated on a frame it has not sent; the
+    server awaits a frame gated on the reply it is withholding — a
+    wait cycle no reordering breaks.  The shipped protocol rules this
+    out twice over: every request frame gets its reply frame
+    immediately, and a pending batch can always flush on ``delay_us``
+    without waiting on any receive."""
+    prog = CommProgram()
+    server = prog.proc("server", 0)
+    caller = prog.proc("caller", 0)
+    prog.send(caller, server, _REQ)
+    prog.recv(caller, server, _REP)   # future.result() before next flush
+    prog.send(caller, server, _REQ)
+    prog.recv(server, caller, _REQ)
+    prog.recv(server, caller, _REQ)   # waits to fill its reply batch
+    prog.send(server, caller, _REP)
+    prog.send(server, caller, _REP)
     return prog

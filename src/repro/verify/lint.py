@@ -34,6 +34,13 @@ over ``src/``:
   :meth:`~repro.verify.commgraph.CommProgram.epoch_violations`.
   Heuristic by name on purpose: queue ``.put`` receivers (``q``,
   ``results``, ``broker_q``) never look like windows.
+* **V107 — per-invocation pickling outside the batch encoder.**
+  ``pickle.dumps`` inside a ``for``/``while`` body serializes once per
+  iteration — exactly the per-message overhead the batch frame codec
+  (:mod:`repro.prmi.frames`) exists to amortize: one header pickle per
+  *frame*, arrays packed as raw aligned bytes.  The codec module itself
+  is exempt (it is the one place a loop may legitimately feed the
+  single frame pickle).
 * **V106 — per-pair allocation without a pool loan.**  A size-dependent
   array allocation (``np.empty``/``zeros``/``ones``/``full``) inside a
   loop over communication pairs (``for pp in plan.pairs``,
@@ -67,7 +74,12 @@ RULES = {
     "V104": "time.sleep polling loop in transport code",
     "V105": "one-sided put into a window with no epoch guard in scope",
     "V106": "per-pair allocation in a pair loop without a pool loan",
+    "V107": "per-invocation pickle.dumps in a loop outside the frame codec",
 }
+
+#: The batch frame codec — the one module allowed to pickle in a loop
+#: context (it pickles once per frame, not per request).
+FRAME_CODEC_MODULES = ("prmi/frames.py",)
 
 #: Epoch verbs that license a later ``.put`` in the same function.
 _EPOCH_GUARDS = {"wait_open", "epoch_open", "fence"}
@@ -256,6 +268,30 @@ def _check_unexposed_put(func: ast.AST) -> Iterator[tuple[int, str]]:
                    f"an exposure epoch")
 
 
+def _check_loop_pickle(tree: ast.AST, relpath: str,
+                       ) -> Iterator[tuple[int, str]]:
+    """V107: ``pickle.dumps(...)`` (or bare ``dumps(...)``) lexically
+    inside a loop body, outside :data:`FRAME_CODEC_MODULES`."""
+    if any(relpath.endswith(m) for m in FRAME_CODEC_MODULES):
+        return
+    for loop in ast.walk(tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            func = node.func
+            qualified = (isinstance(func, ast.Attribute)
+                         and isinstance(func.value, ast.Name)
+                         and func.value.id == "pickle")
+            if name == "dumps" and (qualified or isinstance(func, ast.Name)):
+                yield (node.lineno,
+                       "pickle.dumps inside a loop serializes per "
+                       "iteration — coalesce into one batch frame "
+                       "(repro.prmi.frames) and pickle once per frame")
+
+
 #: Allocation callables whose result is a fresh per-iteration buffer.
 _ALLOC_NAMES = {"empty", "zeros", "ones", "full"}
 
@@ -328,6 +364,8 @@ def lint_source(source: str, path: str = "<string>",
                 for ln, msg in _check_sleep_loops(tree))
     hits.extend((ln, "V106", msg)
                 for ln, msg in _check_pair_loop_alloc(tree))
+    hits.extend((ln, "V107", msg)
+                for ln, msg in _check_loop_pickle(tree, relpath))
 
     out = []
     for line, rule, message in sorted(hits):

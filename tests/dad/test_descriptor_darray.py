@@ -188,3 +188,23 @@ class TestConverters:
         rep = DARepresentation("a", 5)
         assert reg.convert(rep, "a") is rep
         assert reg.hops_executed == 0
+
+
+def test_pickle_drops_the_region_memo():
+    """The per-rank region memo never crosses the wire: on the threads
+    backend sibling ranks fill it concurrently while rank 0 pickles the
+    shared descriptor for the handshake, and serializing a dict under
+    mutation raises RuntimeError.  The copy must still answer layout
+    queries identically (rebuilding its own memo)."""
+    import pickle
+
+    desc = DistArrayDescriptor(block_template((6, 4), (2, 2)), np.float64,
+                               name="field")
+    for r in range(desc.nranks):
+        desc.local_regions(r)
+    assert desc._region_cache
+    clone = pickle.loads(pickle.dumps(desc))
+    assert clone._region_cache == {}
+    for r in range(desc.nranks):
+        assert list(clone.local_regions(r)) == list(desc.local_regions(r))
+    assert clone.cache_key() == desc.cache_key()

@@ -1,0 +1,313 @@
+"""The high-throughput serving tier, end to end on both backends.
+
+Rank functions are module-level (the procs backend pickles them), and
+each scenario runs a real caller cohort with an
+:class:`~repro.prmi.serving.InvocationPipeline` against a callee cohort
+blocked in :class:`~repro.prmi.serving.ServerLoop`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cca.sidl import arg, method, port
+from repro.errors import ServerOverloaded, SimpleArgumentMismatch
+from repro.prmi import (
+    Batched,
+    CachedRead,
+    CalleeEndpoint,
+    CallerEndpoint,
+    InvocationPipeline,
+    PolicyTable,
+    ServerLoop,
+    Sync,
+)
+from repro.prmi.endpoint import _args_equal
+from repro.simmpi import NameService, run_coupled
+from repro.simmpi.intercomm import default_nameservice
+
+BACKENDS = ["threads", "procs"]
+
+PORT = port(
+    "ServePort",
+    method("echo_m", arg("x")),
+    method("add", arg("a"), arg("b"), invocation="independent"),
+    method("scale", arg("v"), invocation="independent"),
+    method("get_config", arg("key"), invocation="independent"),
+    method("note", arg("msg"), oneway=True, returns=False,
+           invocation="independent"),
+)
+
+
+class ServeImpl:
+    def __init__(self, comm):
+        self.comm = comm
+        self.notes = []
+
+    def echo_m(self, x):
+        return x
+
+    def add(self, a, b):
+        return a + b
+
+    def scale(self, v):
+        return v * 2.0
+
+    def get_config(self, key):
+        return {"key": key, "rank": self.comm.rank}
+
+    def note(self, msg):
+        self.notes.append(msg)
+
+
+def _callee(comm, service, queue_max=None):
+    inter = default_nameservice.accept(service, comm)
+    ep = CalleeEndpoint(comm, inter, PORT, ServeImpl(comm))
+    loop = ServerLoop(ep, queue_max=queue_max)
+    tallies = loop.serve_forever()
+    tallies["subset_engagements"] = ep.stats.subset_engagements
+    return tallies
+
+
+def _pipeline(comm, service, **kw):
+    inter = default_nameservice.connect(service, comm)
+    ep = CallerEndpoint(comm, inter, PORT)
+    return InvocationPipeline(ep, **kw)
+
+
+# -- batched + one-way interleave, identity vs unbatched ---------------------
+
+def _interleave_caller(comm, service, n):
+    table = PolicyTable(default=Batched(batch_max=4, delay_us=10**7))
+    pipe = _pipeline(comm, service, policies=table, inflight_max=256)
+    callee = comm.rank % n
+    futs = []
+    for i in range(10):
+        futs.append(pipe.submit("add", callee, a=i, b=comm.rank))
+        if i % 3 == 0:
+            pipe.submit("note", callee, msg=f"r{comm.rank}i{i}")
+    vec = np.arange(6, dtype=np.float32)
+    arr_fut = pipe.submit("scale", callee, v=vec)
+    coll = pipe.invoke_collective("echo_m", x=comm.rank * 0 + 7)
+    batched = [f.result() for f in futs]
+    batched_arr = arr_fut.result()
+    # The same requests again, unbatched (sync per-request frames), and
+    # through the classic per-message independent path the loop also
+    # serves: all three executions must agree exactly.
+    sync_pipe_results = []
+    sync_table = PolicyTable(default=Sync())
+    pipe.policies = sync_table
+    for i in range(10):
+        sync_pipe_results.append(
+            pipe.submit("add", callee, a=i, b=comm.rank).result())
+    unbatched = [pipe.caller.invoke_independent("add", callee,
+                                                a=i, b=comm.rank)
+                 for i in range(10)]
+    unbatched_arr = pipe.caller.invoke_independent("scale", callee, v=vec)
+    pipe.close()
+    return (batched, sync_pipe_results, unbatched, coll.result(),
+            _args_equal(batched_arr, unbatched_arr),
+            batched_arr.dtype.str)
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_batched_oneway_interleave_matches_unbatched(backend):
+    m = n = 2
+    out = run_coupled([
+        ("callee", n, _callee, ("serve-interleave",)),
+        ("caller", m, _interleave_caller, ("serve-interleave", n)),
+    ], backend=backend)
+    for rank, (batched, sync_r, unbatched, coll, arr_eq, dt) in \
+            enumerate(out["caller"]):
+        expected = [i + rank for i in range(10)]
+        assert batched == expected
+        assert sync_r == expected
+        assert unbatched == expected
+        assert coll == 7
+        assert arr_eq          # byte identity incl. dtype (float32 in)
+        assert dt == np.dtype(np.float32).str
+    for tallies in out["callee"]:
+        assert tallies["overloads"] == 0
+        assert tallies["errors"] == 0
+        # one-way notes rode the frames: requests > replied invocations
+        assert tallies["requests"] >= 11
+
+
+# -- subset engagement mid-pipeline ------------------------------------------
+
+def _subset_caller(comm, service, n):
+    table = PolicyTable(default=Batched(batch_max=8, delay_us=10**7))
+    pipe = _pipeline(comm, service, policies=table)
+    before = pipe.invoke_collective("echo_m", x=1)
+    futs = [pipe.submit("add", comm.rank % n, a=i, b=0) for i in range(4)]
+    pipe.engage_subset([0, 2])
+    after = pipe.invoke_collective("echo_m", x=2)
+    late = [pipe.submit("add", comm.rank % n, a=i, b=10) for i in range(3)]
+    got = ([f.result() for f in futs], before.result(), after.result(),
+           [f.result() for f in late])
+    pipe.close()
+    return got
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_subset_engaged_mid_pipeline(backend):
+    m, n = 3, 2
+    out = run_coupled([
+        ("callee", n, _callee, ("serve-subset",)),
+        ("caller", m, _subset_caller, ("serve-subset", n)),
+    ], backend=backend)
+    for rank, (futs, before, after, late) in enumerate(out["caller"]):
+        assert futs == [0, 1, 2, 3]
+        assert before == 1
+        # rank 1 is subset out: its post-subset collective is a no-op,
+        # but independent submissions still flow.
+        assert after == (2 if rank in (0, 2) else None)
+        assert late == [10, 11, 12]
+    for tallies in out["callee"]:
+        assert tallies["subsets"] == 1
+        assert tallies["subset_engagements"] == 1
+        assert tallies["collective"] == 2
+
+
+# -- queue-overflow admission control ----------------------------------------
+
+def _overflow_caller(comm, service):
+    table = PolicyTable(default=Batched(batch_max=64, delay_us=10**7))
+    pipe = _pipeline(comm, service, policies=table)
+    futs = [pipe.submit("add", 0, a=i, b=0) for i in range(8)]
+    pipe.flush()
+    ok, refused = [], 0
+    for f in futs:
+        try:
+            ok.append(f.result())
+        except ServerOverloaded:
+            refused += 1
+    pipe.close()
+    return ok, refused
+
+
+@pytest.mark.parametrize("backend", BACKENDS,
+                         ids=[f"backend-{b}" for b in BACKENDS])
+def test_server_queue_overflow_refuses_excess(backend):
+    out = run_coupled([
+        ("callee", 1, _callee, ("serve-overflow", 3)),
+        ("caller", 1, _overflow_caller, ("serve-overflow",)),
+    ], backend=backend)
+    ok, refused = out["caller"][0]
+    # FIFO admission: the first queue_max requests succeed, the rest
+    # are refused with ServerOverloaded — nothing is silently dropped.
+    assert ok == [0, 1, 2]
+    assert refused == 5
+    assert out["callee"][0]["overloads"] == 5
+
+
+# -- caller-side in-flight window --------------------------------------------
+
+def _inflight_raise_caller(comm, service):
+    table = PolicyTable(default=Batched(batch_max=64, delay_us=10**7))
+    pipe = _pipeline(comm, service, policies=table, inflight_max=3,
+                     overflow="raise")
+    futs = [pipe.submit("add", 0, a=i, b=0) for i in range(3)]
+    try:
+        pipe.submit("add", 0, a=99, b=0)
+        raised = False
+    except ServerOverloaded:
+        raised = True
+    vals = [f.result() for f in futs]
+    pipe.close()
+    return raised, vals
+
+
+def _inflight_block_caller(comm, service):
+    table = PolicyTable(default=Batched(batch_max=2, delay_us=10**7))
+    pipe = _pipeline(comm, service, policies=table, inflight_max=4,
+                     overflow="block")
+    futs = [pipe.submit("add", 0, a=i, b=0) for i in range(12)]
+    vals = [f.result() for f in futs]
+    pipe.close()
+    return vals
+
+
+def test_inflight_cap_raise_policy():
+    out = run_coupled([
+        ("callee", 1, _callee, ("serve-inflight-raise",)),
+        ("caller", 1, _inflight_raise_caller, ("serve-inflight-raise",)),
+    ])
+    raised, vals = out["caller"][0]
+    assert raised and vals == [0, 1, 2]
+
+
+def test_inflight_cap_block_policy_makes_progress():
+    out = run_coupled([
+        ("callee", 1, _callee, ("serve-inflight-block",)),
+        ("caller", 1, _inflight_block_caller, ("serve-inflight-block",)),
+    ])
+    assert out["caller"][0] == list(range(12))
+
+
+# -- cached-read policy -------------------------------------------------------
+
+def _cached_caller(comm, service):
+    cache = CachedRead()
+    table = PolicyTable(get_config=cache)
+    pipe = _pipeline(comm, service, policies=table)
+    a = pipe.submit("get_config", 0, key="alpha").result()
+    b = pipe.submit("get_config", 0, key="alpha").result()   # cache hit
+    c = pipe.submit("get_config", 0, key="beta").result()
+    cache.invalidate("get_config")
+    d = pipe.submit("get_config", 0, key="alpha").result()   # refetched
+    pipe.close()
+    return a, b, c, d
+
+
+def test_cached_read_hits_skip_the_wire():
+    out = run_coupled([
+        ("callee", 1, _callee, ("serve-cached",)),
+        ("caller", 1, _cached_caller, ("serve-cached",)),
+    ])
+    a, b, c, d = out["caller"][0]
+    assert a == b == d == {"key": "alpha", "rank": 0}
+    assert c == {"key": "beta", "rank": 0}
+    # 4 results, but only 3 requests crossed the wire.
+    assert out["callee"][0]["requests"] == 3
+
+
+# -- _args_equal dtype regression --------------------------------------------
+
+def test_args_equal_is_dtype_strict():
+    """np.array_equal alone calls float32/float64 twins equal; the
+    cohorts would then build byte-incompatible schedules from
+    'consistent' simple args."""
+    a32 = np.arange(3, dtype=np.float32)
+    a64 = np.arange(3, dtype=np.float64)
+    assert bool(np.array_equal(a32, a64))     # why the check must exist
+    assert not _args_equal(a32, a64)
+    assert _args_equal(a32, a32.copy())
+    assert not _args_equal({"x": a32}, {"x": a64})
+    assert _args_equal([a64, 1], (a64, 1))
+
+
+def _dtype_mismatch_caller(comm, service):
+    inter = default_nameservice.connect(service, comm)
+    ep = CallerEndpoint(comm, inter, PORT, verify_simple=True)
+    dtype = np.float32 if comm.rank == 0 else np.float64
+    try:
+        ep.invoke("echo_m", x=np.arange(3, dtype=dtype))
+        return "no error"
+    except SimpleArgumentMismatch:
+        return "mismatch"
+
+
+def _dtype_mismatch_callee(comm, service):
+    inter = default_nameservice.accept(service, comm)
+    CalleeEndpoint(comm, inter, PORT, ServeImpl(comm))
+    return "served"
+
+
+def test_verify_simple_catches_dtype_divergence():
+    out = run_coupled([
+        ("callee", 1, _dtype_mismatch_callee, ("serve-dtype",)),
+        ("caller", 2, _dtype_mismatch_caller, ("serve-dtype",)),
+    ])
+    assert set(out["caller"]) == {"mismatch"}

@@ -12,6 +12,9 @@ from repro.verify.commgraph import (
     CommProgram,
     assert_deadlock_free,
     fig5_model,
+    prmi_batch_deadlock_model,
+    prmi_pipeline_model,
+    prmi_serving_model,
     transfer_model,
     would_deadlock,
 )
@@ -218,3 +221,27 @@ def test_rma_epoch_misuse_static_matches_live_procs():
         run_coupled([("prod", 1, producer, ()), ("cons", 1, consumer, ())],
                     deadlock_timeout=3.0, backend="procs")
     assert any("rma_put" in str(e) for e in ei.value.failures.values())
+
+
+# -- PRMI serving-tier models -------------------------------------------------
+
+def test_prmi_batched_serving_model_is_deadlock_free():
+    """One reply frame per request frame + flush-without-recv: every
+    interleaving of the shipped batched protocol completes."""
+    assert_deadlock_free(prmi_serving_model(callers=3, flushes=2))
+
+
+def test_prmi_pipelined_model_is_deadlock_free():
+    """Deferred return receives drained in FIFO submission order."""
+    assert_deadlock_free(prmi_pipeline_model(depth=4))
+
+
+def test_prmi_batch_without_deadline_deadlocks():
+    """A server that withholds replies to fill a reply batch, against a
+    caller blocked on its first future before flushing again: the wait
+    cycle the flush deadline exists to rule out."""
+    diag = would_deadlock(prmi_batch_deadlock_model())
+    assert diag is not None
+    assert diag.kind == "receive cycle"
+    assert any({"caller rank 0", "server rank 0"} <= set(c)
+               for c in diag.cycles)

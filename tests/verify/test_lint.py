@@ -222,3 +222,57 @@ def test_v106_pragma_opts_out():
                 buf = np.empty(pp.element_count)  # verify: allow(V106)
     """)
     assert hits == []
+
+
+# -- V107: per-invocation pickle in a loop -----------------------------------
+
+def test_v107_pickle_dumps_in_loop():
+    hits = lint("""
+        import pickle
+        def ship_all(comm, requests):
+            for req in requests:
+                comm.send(pickle.dumps(req), 0, 1)
+    """)
+    assert [h.rule for h in hits] == ["V107"]
+    assert "frame" in hits[0].message
+
+
+def test_v107_bare_dumps_in_while_loop():
+    hits = lint("""
+        from pickle import dumps
+        def pump(comm, queue):
+            while queue:
+                comm.send(dumps(queue.pop()), 0, 1)
+    """)
+    assert [h.rule for h in hits] == ["V107"]
+
+
+def test_v107_single_dumps_outside_loop_is_clean():
+    hits = lint("""
+        import pickle
+        def ship_frame(comm, batch):
+            comm.send(pickle.dumps(batch), 0, 1)
+    """)
+    assert hits == []
+
+
+def test_v107_frame_codec_module_is_exempt():
+    code = """
+        import pickle
+        def encode(entries):
+            for e in entries:
+                pickle.dumps(e)
+    """
+    assert lint(code, "src/repro/prmi/frames.py") == []
+    assert [h.rule for h in lint(code, "src/repro/prmi/serving.py")] == \
+        ["V107"]
+
+
+def test_v107_pragma_opts_out():
+    hits = lint("""
+        import pickle
+        def legacy(comm, reqs):
+            for r in reqs:
+                comm.send(pickle.dumps(r), 0, 1)  # verify: allow(V107)
+    """)
+    assert hits == []
