@@ -45,6 +45,7 @@ EXPERIMENTS = [
     ("A9", "bench_rma_steady_state"),
     ("A10", "bench_collective_memory"),
     ("A11", "bench_prmi_serving"),
+    ("A12", "bench_reconfigure"),
 ]
 
 

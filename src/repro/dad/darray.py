@@ -195,6 +195,35 @@ class DistributedArray:
         compiled index plans (:mod:`repro.schedule.indexplan`)."""
         return self._base
 
+    def adopt(self, source: "DistributedArray",
+              descriptor: DistArrayDescriptor | None = None,
+              ) -> "DistributedArray":
+        """Atomically become ``source``: rebind this array's descriptor,
+        consolidated base buffer and patch views to ``source``'s, while
+        preserving *this* object's identity — the ownership-map swap of
+        a live resize (:func:`repro.highlevel.reconfigure`).  Every
+        handle the application holds keeps working and now sees the new
+        decomposition; the rebind is a plain attribute swap, so under
+        the resize protocol (all in-flight transfer steps drained by a
+        barrier first) no reader can observe a mix of old and new
+        state.  ``source is self`` swaps only the descriptor — the
+        identity-rank fast path, whose buffer never moved."""
+        if descriptor is None:
+            descriptor = source.descriptor
+        if source.rank != self.rank:
+            raise DistributionError(
+                f"cannot adopt rank {source.rank}'s storage into rank "
+                f"{self.rank}")
+        if descriptor.dtype != source._base.dtype:
+            raise DistributionError(
+                f"adopted descriptor dtype {descriptor.dtype} != storage "
+                f"dtype {source._base.dtype}")
+        self.descriptor = descriptor
+        if source is not self:
+            self._base = source._base
+            self.patches = source.patches
+        return self
+
     @property
     def local_volume(self) -> int:
         return self._base.size

@@ -109,6 +109,21 @@ class DistArrayDescriptor:
         different actual arrays (paper §2.3)."""
         return (self.template.cache_key(), self.dtype.str)
 
+    def ownership_key(self, rank: int) -> tuple:
+        """Hashable fingerprint of ``rank``'s exact ownership: the
+        ``(lo, hi)`` corner pairs of its patches in ``lo`` order.  Two
+        descriptors agreeing on a rank's key own *identical* global
+        elements with an identical local patch layout, so compiled
+        per-rank plans addressing that layout transfer verbatim — the
+        reuse test of the delta-schedule compiler
+        (:mod:`repro.schedule.delta`).  Ranks outside the template
+        (``rank >= nranks``) own nothing and fingerprint empty."""
+        if not (0 <= rank < self.nranks):
+            return ()
+        # Sorted by lo — the same normalization LocalIndexer applies to
+        # the patch layout, so equal keys really mean equal layouts.
+        return tuple(sorted((r.lo, r.hi) for r in self.local_regions(rank)))
+
     # -- alignment ---------------------------------------------------------
 
     def check_alignment(self, shape: Sequence[int]) -> None:

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import ReproError, ScheduleError
 from repro.dri.dataset import DRIDataset
-from repro.schedule.builder import build_region_schedule
+from repro.schedule.builder import GLOBAL_CACHE
 from repro.simmpi.communicator import Communicator
 
 REORG_TAG = 200
@@ -26,7 +26,7 @@ REORG_TAG = 200
 class DRIReorg:
     """A reorganization plan between two DRI datasets."""
 
-    def __init__(self, src: DRIDataset, dst: DRIDataset):
+    def __init__(self, src: DRIDataset, dst: DRIDataset, *, cache=None):
         if src.shape != dst.shape:
             raise ScheduleError(
                 f"dataset shapes differ: {src.shape} vs {dst.shape}")
@@ -36,8 +36,12 @@ class DRIReorg:
                 f"{src.dtype_name!r} and {dst.dtype_name!r}")
         self.src = src
         self.dst = dst
-        self.schedule = build_region_schedule(src.descriptor,
-                                              dst.descriptor)
+        # Schedules are pure functions of the descriptor pair, so two
+        # reorgs over the same templates — or a reorg over a pair the
+        # coupling layer already compiled — share one build through the
+        # process-wide cache instead of recompiling from scratch.
+        self.schedule = (cache if cache is not None else GLOBAL_CACHE).get(
+            src.descriptor, dst.descriptor)
 
     def begin(self, comm: Communicator, sendbuf: np.ndarray | None,
               recvbuf: np.ndarray | None) -> "DRIReorgHandle":

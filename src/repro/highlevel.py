@@ -19,28 +19,34 @@ Two simplifications cover the overwhelmingly common cases:
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ConnectionError_
+from repro.errors import ConnectionError_, ScheduleError
 from repro.dad.darray import DistributedArray
 from repro.dad.descriptor import DistArrayDescriptor
-from repro.dad.template import block_template
+from repro.dad.template import Template, block_template
 from repro.schedule.bufpool import BufferPool
-from repro.schedule.builder import ScheduleCache
+from repro.schedule.builder import GLOBAL_CACHE
 from repro.schedule.costmodel import (choose_planner, resolve_planner,
                                       resolve_round_bytes)
+from repro.schedule.delta import compile_delta
 from repro.schedule.executor import execute_inter, execute_intra
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator, NameService
 from repro.simmpi.runner import run_spmd
+from repro.util.counters import REDIST_STATS
 
-#: Process-wide schedule cache shared by the convenience layer.
-_cache = ScheduleCache()
+#: Process-wide schedule cache shared by the convenience layer (an
+#: alias of :data:`repro.schedule.builder.GLOBAL_CACHE`, so couplings,
+#: reorgs and live resizes all reuse each other's compiled schedules).
+_cache = GLOBAL_CACHE
 
 _HANDSHAKE_TAG = 150
 _DATA_TAG = 151
+_RESIZE_TAG = 152
 
 
 def redistribute(global_array: np.ndarray,
@@ -77,6 +83,133 @@ def redistribute(global_array: np.ndarray,
 
     parts = [p for p in run_spmd(n, main, backend=backend) if p is not None]
     return DistributedArray.assemble(parts)
+
+
+def _resolve_new_descriptor(old_desc: DistArrayDescriptor, new_dist,
+                            new_nranks: int | None) -> DistArrayDescriptor:
+    """Normalize ``reconfigure``'s target: a descriptor is taken as-is,
+    a template is wrapped with the old dtype, a process-grid sequence
+    becomes a block template over the old shape."""
+    if isinstance(new_dist, DistArrayDescriptor):
+        new_desc = new_dist
+    elif isinstance(new_dist, Template):
+        new_desc = DistArrayDescriptor(new_dist, old_desc.dtype)
+    else:
+        new_desc = DistArrayDescriptor(
+            block_template(old_desc.shape, tuple(new_dist)), old_desc.dtype)
+    if new_nranks is not None and new_desc.nranks != int(new_nranks):
+        raise ScheduleError(
+            f"new distribution spans {new_desc.nranks} ranks, caller "
+            f"asked for {new_nranks}")
+    if new_desc.shape != old_desc.shape:
+        raise ScheduleError(
+            f"cannot resize between shapes {old_desc.shape} and "
+            f"{new_desc.shape}")
+    if new_desc.dtype != old_desc.dtype:
+        raise ScheduleError(
+            f"cannot resize between dtypes {old_desc.dtype} and "
+            f"{new_desc.dtype}")
+    return new_desc
+
+
+def reconfigure(comm: Communicator, darray: DistributedArray | None,
+                new_dist, new_nranks: int | None = None, *,
+                planner: str | None = None,
+                round_bytes: int | None = None,
+                cache=None) -> DistributedArray | None:
+    """Resize a live distributed array to a new decomposition, moving
+    only the bytes whose owner changed — the elastic counterpart of
+    :func:`redistribute`.
+
+    Collective over ``comm`` (every rank calls it).  Ranks inside the
+    old decomposition pass their live array; ranks joining the cohort
+    (``rank >= old nranks``) pass ``None``.  ``new_dist`` is a
+    :class:`~repro.dad.descriptor.DistArrayDescriptor`, a
+    :class:`~repro.dad.template.Template`, or a process-grid sequence
+    (block decomposition); ``new_nranks`` optionally cross-checks it.
+
+    The pipeline is the delta-schedule compiler's
+    (:mod:`repro.schedule.delta`): fetch the old→new schedule through
+    the shared :class:`~repro.schedule.builder.ScheduleCache` (a
+    repeated resize is a pure cache hit, and a first-time resize
+    warm-starts from any cached sibling's compiled plans), split it
+    into migration + kept, repack kept bytes locally, stream only the
+    migration through the existing execution engines (``planner`` /
+    ``round_bytes`` as in :func:`redistribute`; the ``auto`` cost
+    model picks the tier), then — after a drain barrier guarantees no
+    rank still has transfer steps in flight — atomically swap the
+    ownership map (:meth:`~repro.dad.darray.DistributedArray.adopt`).
+
+    Returns the surviving handle: for a rank inside the new
+    decomposition this is the *same object* it passed in (rebound in
+    place, so existing references stay live), or a fresh array for a
+    joining rank.  Ranks leaving the cohort get ``None`` and must stop
+    using their old handle (its contents are stale by construction).
+
+    ``REDIST_STATS`` accounts the resize on comm rank 0:
+    ``migrated_bytes`` / ``kept_bytes`` / ``identity_ranks`` /
+    ``resizes`` / ``resize_wall_us``.
+    """
+    t0 = time.perf_counter()
+    if comm.rank == 0 and darray is None:
+        raise ScheduleError(
+            "reconfigure: rank 0 must hold the live array (it broadcasts "
+            "the old decomposition)")
+    old_desc = comm.bcast(darray.descriptor if comm.rank == 0 else None,
+                          root=0)
+    new_desc = _resolve_new_descriptor(old_desc, new_dist, new_nranks)
+    old_n, new_n = old_desc.nranks, new_desc.nranks
+    if comm.size < max(old_n, new_n):
+        raise ScheduleError(
+            f"reconfigure needs {max(old_n, new_n)} ranks "
+            f"(old={old_n}, new={new_n}), comm has {comm.size}")
+    me = comm.rank
+    if (darray is None) != (me >= old_n):
+        raise ScheduleError(
+            f"rank {me}: ranks below the old size {old_n} pass their live "
+            f"array, ranks joining pass None")
+    if darray is not None and \
+            darray.descriptor.cache_key() != old_desc.cache_key():
+        raise ScheduleError(
+            f"rank {me}: local array's decomposition differs from rank "
+            f"0's — the cohort disagrees on the old distribution")
+    delta = compile_delta(old_desc, new_desc, cache=_cache if cache is None
+                          else cache)
+    incoming = None
+    if me < new_n:
+        if me in delta.identity_ranks and darray is not None:
+            # Ownership unchanged: keep the buffer, no repack at all.
+            incoming = darray
+        else:
+            incoming = DistributedArray.allocate(new_desc, me)
+            if darray is not None:
+                delta.apply_local(me, darray.flat_local(),
+                                  incoming.flat_local())
+    if comm.size > max(old_n, new_n):
+        # Spare ranks hold neither side, and collective rounds need
+        # every comm rank on at least one; all ranks compute this
+        # predicate identically, so the cohort agrees on p2p.
+        planner = "p2p"
+    execute_intra(delta.migration, comm, src_array=darray,
+                  dst_array=incoming, src_ranks=range(old_n),
+                  dst_ranks=range(new_n), tag=_RESIZE_TAG,
+                  planner=planner, round_bytes=round_bytes)
+    # Drain: no rank may swap its ownership map while any peer still
+    # has migration steps in flight — after this barrier every receive
+    # everywhere has completed, so the swap is globally atomic.
+    comm.barrier()
+    result = None
+    if me < new_n:
+        result = (darray.adopt(incoming, new_desc) if darray is not None
+                  else incoming)
+    if me == 0:
+        REDIST_STATS.add("resizes")
+        REDIST_STATS.add("migrated_bytes", delta.migrated_bytes())
+        REDIST_STATS.add("kept_bytes", delta.kept_bytes())
+        REDIST_STATS.add("identity_ranks", len(delta.identity_ranks))
+        REDIST_STATS.add("resize_wall_us",
+                         int((time.perf_counter() - t0) * 1e6))
+    return result
 
 
 class Channel:

@@ -27,11 +27,14 @@ from repro.schedule.indexplan import (
     LocalIndexer,
     PairPlan,
     RankPlan,
+    compile_pair,
     compile_pair_plans,
     compile_rank_plan,
 )
 from repro.schedule.builder import (
+    GLOBAL_CACHE,
     ScheduleCache,
+    resolve_cache_max,
     build_allpairs_schedule,
     build_block_schedule,
     build_linear_schedule,
@@ -40,6 +43,11 @@ from repro.schedule.builder import (
     build_sweep_schedule,
 )
 from repro.schedule.bufpool import BufferPool
+from repro.schedule.delta import (
+    DeltaSchedule,
+    compile_delta,
+    warm_start_plans,
+)
 from repro.schedule.collplan import (
     CollectivePlan,
     CollectiveReceiver,
@@ -74,6 +82,11 @@ __all__ = [
     "TransferItem",
     "LinearItem",
     "ScheduleCache",
+    "GLOBAL_CACHE",
+    "resolve_cache_max",
+    "DeltaSchedule",
+    "compile_delta",
+    "warm_start_plans",
     "build_region_schedule",
     "build_allpairs_schedule",
     "build_block_schedule",
@@ -104,6 +117,7 @@ __all__ = [
     "LocalIndexer",
     "PairPlan",
     "RankPlan",
+    "compile_pair",
     "compile_rank_plan",
     "compile_pair_plans",
 ]

@@ -30,6 +30,9 @@ array again) skips the build entirely.
 from __future__ import annotations
 
 import heapq
+import os
+import threading
+from collections import OrderedDict
 from itertools import product
 from typing import Callable, Iterator, Sequence
 
@@ -313,8 +316,36 @@ def build_linear_schedule(src: Linearization,
     return LinearSchedule(items, src.nranks, dst.nranks)
 
 
+#: Default LRU bound for :class:`ScheduleCache`.  One entry pins a
+#: schedule plus its compiled plans (O(items) each); 512 distinct
+#: template pairs is far beyond any single coupling but small enough
+#: that a long-lived multi-tenant process cannot grow without limit.
+DEFAULT_SCHEDULE_CACHE_MAX = 512
+
+
+def resolve_cache_max(max_entries: int | None = None) -> int:
+    """Resolve the schedule-cache LRU bound: explicit argument, else the
+    ``REPRO_SCHEDULE_CACHE_MAX`` environment variable, else
+    :data:`DEFAULT_SCHEDULE_CACHE_MAX`.  ``0`` disables eviction
+    (unbounded); negative values are rejected."""
+    if max_entries is None:
+        raw = os.environ.get("REPRO_SCHEDULE_CACHE_MAX")
+        max_entries = DEFAULT_SCHEDULE_CACHE_MAX if raw is None else raw
+    try:
+        max_entries = int(max_entries)
+    except (TypeError, ValueError):
+        raise ScheduleError(
+            f"REPRO_SCHEDULE_CACHE_MAX must be an integer, got "
+            f"{max_entries!r}") from None
+    if max_entries < 0:
+        raise ScheduleError(
+            f"REPRO_SCHEDULE_CACHE_MAX must be >= 0 (0 = unbounded), got "
+            f"{max_entries}")
+    return max_entries
+
+
 class ScheduleCache:
-    """Template-pair keyed schedule cache with hit statistics.
+    """Template-pair keyed, LRU-bounded schedule cache with statistics.
 
     Implements §2.3's reuse: "can be reused in consecutive transfers,
     and even for different arrays as long as they conform to the same
@@ -326,30 +357,132 @@ class ScheduleCache:
     plans sized for round packing — so a ``planner="collective"`` entry
     must never alias a ``planner="p2p"`` one compiled for the same
     template pair.
+
+    Two behaviors beyond plain memoization:
+
+    * **Bounded.**  At most :func:`resolve_cache_max` entries are
+      retained (``max_entries`` argument, else the
+      ``REPRO_SCHEDULE_CACHE_MAX`` env knob, resolved per insert so the
+      knob is live); least-recently-*used* entries are evicted and
+      counted in ``evictions``.
+    * **Warm starts.**  On a miss whose key shares one descriptor side
+      with a cached entry (the elastic-resize signature: same source
+      template, new destination), the freshly built schedule is seeded
+      with every compiled :class:`~repro.schedule.indexplan.PairPlan`
+      of the sibling that is provably still valid — see
+      :func:`repro.schedule.delta.warm_start_plans`.  ``REDIST_STATS``
+      counts ``pairs_reused`` / ``pairs_recompiled``.
+
+    All operations hold one lock, so threads-backend ranks sharing the
+    process-global cache serialize on build and never duplicate work.
     """
 
-    def __init__(self, builder: Callable[..., CommSchedule] = build_region_schedule):
+    def __init__(self, builder: Callable[..., CommSchedule] = build_region_schedule,
+                 *, max_entries: int | None = None, warm_start: bool = True):
         self._builder = builder
-        self._cache: dict[tuple, CommSchedule] = {}
+        self._lock = threading.Lock()
+        # key -> (schedule, src_desc, dst_desc); descriptors are kept so
+        # warm starts can check per-rank ownership against the sibling.
+        self._cache: "OrderedDict[tuple, tuple[CommSchedule, DistArrayDescriptor, DistArrayDescriptor]]" = OrderedDict()
+        self._max_entries = max_entries
+        self._warm_start = warm_start
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def max_entries(self) -> int:
+        """The currently effective LRU bound (0 = unbounded)."""
+        return resolve_cache_max(self._max_entries)
 
     def get(self, src: DistArrayDescriptor,
             dst: DistArrayDescriptor, *, planner: str | None = None,
             **kwargs) -> CommSchedule:
         key = (src.cache_key(), dst.cache_key(), planner,
                tuple(sorted(kwargs.items())))
-        if key in self._cache:
-            self.hits += 1
-            return self._cache[key]
-        self.misses += 1
-        schedule = self._builder(src, dst, **kwargs)
-        self._cache[key] = schedule
-        return schedule
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                return entry[0]
+            self.misses += 1
+            schedule = self._builder(src, dst, **kwargs)
+            if self._warm_start:
+                sibling = self._find_sibling(key)
+                if sibling is not None:
+                    from repro.schedule.delta import warm_start_plans
+                    old_sched, old_src, old_dst = sibling
+                    warm_start_plans(schedule, old_sched,
+                                     src, dst, old_src, old_dst)
+            self._cache[key] = (schedule, src, dst)
+            limit = self.max_entries
+            if limit:
+                while len(self._cache) > limit:
+                    self._cache.popitem(last=False)
+                    self.evictions += 1
+            return schedule
+
+    def _find_sibling(self, key: tuple):
+        """Most-recently-used cached entry sharing a descriptor side
+        (and all builder options) with ``key``.  Either side of the
+        sibling may match either side of the key — compiled plans are
+        side-agnostic (pure functions of layout + wire regions), and
+        an elastic resize chain alternates sides: the (d8→d10) entry is
+        the artifact source for a (d10→d12) miss."""
+        src_key, dst_key, planner, opts = key
+        for other, entry in reversed(self._cache.items()):
+            o_src, o_dst, o_planner, o_opts = other
+            if (o_planner, o_opts) != (planner, opts):
+                continue
+            if src_key in (o_src, o_dst) or dst_key in (o_src, o_dst):
+                return entry
+        return None
+
+    def delta_sibling(self, src: DistArrayDescriptor,
+                      dst: DistArrayDescriptor, *,
+                      planner: str | None = None, **kwargs):
+        """Most-recently-used cached entry sharing a descriptor side
+        with ``(src, dst)`` whose schedule already carries a compiled
+        delta split — the artifact source for warm-starting a fresh
+        delta's *migration* plans (:func:`repro.schedule.delta.
+        compile_delta`).  Returns the sibling's
+        :class:`~repro.schedule.delta.DeltaSchedule` or ``None``."""
+        if not self._warm_start:
+            return None
+        key = (src.cache_key(), dst.cache_key(), planner,
+               tuple(sorted(kwargs.items())))
+        src_key, dst_key, planner_k, opts = key
+        with self._lock:
+            for other, entry in reversed(self._cache.items()):
+                if other == key:
+                    continue
+                o_src, o_dst, o_planner, o_opts = other
+                if (o_planner, o_opts) != (planner_k, opts):
+                    continue
+                if src_key in (o_src, o_dst) or dst_key in (o_src, o_dst):
+                    delta = getattr(entry[0], "_delta_split", None)
+                    if delta is not None:
+                        return delta
+        return None
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions, "entries": len(self._cache)}
 
     def __len__(self) -> int:
         return len(self._cache)
 
     def clear(self) -> None:
-        self._cache.clear()
-        self.hits = self.misses = 0
+        with self._lock:
+            self._cache.clear()
+            self.hits = self.misses = self.evictions = 0
+
+
+#: The process-wide schedule cache: the high-level coupling API
+#: (:mod:`repro.highlevel`), :class:`~repro.dri.reorg.DRIReorg` and
+#: :func:`repro.highlevel.reconfigure` all share it, so a reorg over a
+#: template pair the coupler already compiled — or a resize back to a
+#: previously seen decomposition — is a cache hit, not a rebuild.
+GLOBAL_CACHE = ScheduleCache()

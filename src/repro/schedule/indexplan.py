@@ -53,6 +53,7 @@ __all__ = [
     "RankPlan",
     "PLAN_STATS",
     "LocalIndexer",
+    "compile_pair",
     "compile_rank_plan",
     "compile_pair_plans",
     "plan_from_indices",
@@ -264,6 +265,35 @@ class LocalIndexer:
         return lo, region.volume
 
 
+def compile_pair(indexer: LocalIndexer, peer: int,
+                 regions: Sequence[Region]) -> PairPlan:
+    """Compile one (src, dst) pair's wire-order regions against a rank's
+    patch layout.  The plan is a pure function of (regions, layout): two
+    calls with equal region lists over an equal layout yield
+    byte-identical plans — the soundness basis for the delta compiler's
+    verbatim plan reuse (:mod:`repro.schedule.delta`)."""
+    runs = [indexer.region_run(r) for r in regions]
+    if all(r is not None for r in runs):
+        # All regions individually contiguous: the pair is a single
+        # slice iff the runs chain end-to-start.
+        chained = all(runs[k][0] + runs[k][1] == runs[k + 1][0]
+                      for k in range(len(runs) - 1))
+        if chained:
+            lo = runs[0][0] if runs else 0
+            size = sum(n for _, n in runs)
+            PLAN_STATS.add("pair_plans")
+            return PairPlan(peer, size, lo, None)
+        idx = np.concatenate(
+            [np.arange(lo, lo + n, dtype=np.int64) for lo, n in runs]) \
+            if runs else np.empty(0, dtype=np.int64)
+    else:
+        parts = [indexer.region_indices(r) for r in regions]
+        idx = np.concatenate(parts) if parts else \
+            np.empty(0, dtype=np.int64)
+    PLAN_STATS.add("pair_plans")
+    return plan_from_indices(peer, idx)
+
+
 def compile_rank_plan(groups: Sequence[tuple[int, Sequence[Region], object]],
                       owned_regions: Sequence[Region]) -> RankPlan:
     """Compile one rank's per-pair groups against its patch layout.
@@ -274,29 +304,8 @@ def compile_rank_plan(groups: Sequence[tuple[int, Sequence[Region], object]],
     exactly, so plan-based and loop-based buffers are byte-identical.
     """
     indexer = LocalIndexer(owned_regions)
-    pairs: list[PairPlan] = []
-    for peer, regions, _offsets in groups:
-        runs = [indexer.region_run(r) for r in regions]
-        if all(r is not None for r in runs):
-            # All regions individually contiguous: the pair is a single
-            # slice iff the runs chain end-to-start.
-            chained = all(runs[k][0] + runs[k][1] == runs[k + 1][0]
-                          for k in range(len(runs) - 1))
-            if chained:
-                lo = runs[0][0] if runs else 0
-                size = sum(n for _, n in runs)
-                pairs.append(PairPlan(peer, size, lo, None))
-                PLAN_STATS.add("pair_plans")
-                continue
-            idx = np.concatenate(
-                [np.arange(lo, lo + n, dtype=np.int64) for lo, n in runs]) \
-                if runs else np.empty(0, dtype=np.int64)
-        else:
-            parts = [indexer.region_indices(r) for r in regions]
-            idx = np.concatenate(parts) if parts else \
-                np.empty(0, dtype=np.int64)
-        pairs.append(plan_from_indices(peer, idx))
-        PLAN_STATS.add("pair_plans")
+    pairs = [compile_pair(indexer, peer, regions)
+             for peer, regions, _offsets in groups]
     PLAN_STATS.add("rank_plans")
     return RankPlan(tuple(pairs))
 

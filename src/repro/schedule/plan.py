@@ -156,6 +156,23 @@ class CommSchedule:
             self._plans[key] = plan
         return plan
 
+    def plan_if_compiled(self, side: str, rank: int) -> "RankPlan | None":
+        """The cached compiled plan for ``(side, rank)``, or ``None`` if
+        it was never compiled — the delta compiler's probe for artifacts
+        worth carrying across a resize (no compilation is triggered)."""
+        return self._plans.get((side, rank))
+
+    def seed_plan(self, side: str, rank: int, plan: "RankPlan") -> None:
+        """Install a precompiled :class:`~repro.schedule.indexplan.
+        RankPlan` for ``(side, rank)`` — the warm-start path of
+        :func:`repro.schedule.delta.warm_start_plans`.  The caller owns
+        the soundness argument: the plan must equal what
+        :meth:`send_plan`/:meth:`recv_plan` would compile (same wire
+        regions over the same patch layout)."""
+        if side not in ("send", "recv"):
+            raise ScheduleError(f"unknown schedule side {side!r}")
+        self._plans[(side, rank)] = plan
+
     def collective_plan(self, itemsize: int, round_bytes: int):
         """The memory-bounded round decomposition of this schedule (see
         :func:`repro.schedule.collplan.plan_collective_rounds`), memoized

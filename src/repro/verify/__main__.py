@@ -61,6 +61,31 @@ def _schedule_cases():
     ]
 
 
+def _delta_cases():
+    from repro.dad import (
+        Block,
+        BlockCyclic,
+        CartesianTemplate,
+        Cyclic,
+        DistArrayDescriptor,
+        GeneralizedBlock,
+    )
+
+    def cart(*axes):
+        return DistArrayDescriptor(CartesianTemplate(list(axes)))
+
+    return [
+        ("block 8->10", cart(Block(64, 8)), cart(Block(64, 10))),
+        ("block 10->8 (shrink)", cart(Block(64, 10)), cart(Block(64, 8))),
+        ("cyclic 8->10", cart(Cyclic(80, 8)), cart(Cyclic(80, 10))),
+        ("block-cyclic 8->10", cart(BlockCyclic(96, 8, 4)),
+         cart(BlockCyclic(96, 10, 4))),
+        ("gb tail-split 8->10", cart(GeneralizedBlock(80, [10] * 8)),
+         cart(GeneralizedBlock(80, [10] * 7 + [4, 3, 3]))),
+        ("same-size blk->cyc", cart(Block(48, 6)), cart(Cyclic(48, 6))),
+    ]
+
+
 def cmd_schedule(_args) -> int:
     from repro.schedule.builder import build_region_schedule
     from repro.verify.schedule import (verify_against_oracle,
@@ -107,6 +132,60 @@ def cmd_schedule(_args) -> int:
               "plan consistency, oracle routing; collective rows add "
               "chunk tiling, round byte conservation, memory bound")
     print(f"checks per case: {checks}")
+
+    # Delta-vs-full equivalence: delta schedule ∘ old ownership must
+    # reproduce the full rebuild exactly, over grow / shrink /
+    # same-size resizes of every structured template kind, plus a
+    # warm-start soundness proof — a coupling schedule is fully
+    # compiled, its destination side is resized through the cache, and
+    # every plan of the warm-started schedule (verbatim-reused pairs
+    # included) is re-proved against the fallback gather.
+    from repro.dad import DistArrayDescriptor
+    from repro.dad.template import block_template
+    from repro.schedule.builder import ScheduleCache
+    from repro.schedule.delta import compile_delta
+    from repro.util.counters import REDIST_STATS
+    from repro.verify.schedule import (verify_delta_equivalence,
+                                       verify_schedule)
+
+    print()
+    print("delta-schedule proofs (resize m->m' vs full rebuild)")
+    print(f"{'case':<22} {'moved':>7} {'kept':>7} {'ident':>5} "
+          f"{'reused':>6} {'recomp':>6}  verdict")
+    for name, old, new in _delta_cases():
+        try:
+            delta = compile_delta(old, new)
+            verify_delta_equivalence(old, new, delta=delta)
+            src0 = DistArrayDescriptor(
+                block_template(old.shape, (4,) * len(old.shape)))
+            cache = ScheduleCache()
+            s1 = cache.get(src0, old)
+            for r in range(src0.nranks):
+                s1.send_plan(r, src0.local_regions(r))
+            for r in range(old.nranks):
+                s1.recv_plan(r, old.local_regions(r))
+            before = REDIST_STATS.snapshot()
+            warm = cache.get(src0, new)
+            after = REDIST_STATS.snapshot()
+            reused = (after.get("pairs_reused", 0)
+                      - before.get("pairs_reused", 0))
+            recompiled = (after.get("pairs_recompiled", 0)
+                          - before.get("pairs_recompiled", 0))
+            verify_schedule(warm, src0, new)
+            verdict = "proved"
+        except VerificationError as exc:
+            failures += 1
+            verdict = f"FAILED: {exc}"
+            delta = None
+            reused = recompiled = 0
+        moved = delta.moved_elements if delta else 0
+        kept = delta.kept_elements if delta else 0
+        ident = len(delta.identity_ranks) if delta else 0
+        print(f"{name:<22} {moved:>7} {kept:>7} {ident:>5} "
+              f"{reused:>6} {recompiled:>6}  {verdict}")
+    print("checks per delta case: partition, minimality, identity "
+          "ranks, local repack consistency, warm-started plan "
+          "consistency (reused pairs re-proved)")
     print("schedule: " + ("FAIL" if failures else "OK"))
     return 1 if failures else 0
 

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import VerificationError
+from repro.errors import ScheduleError, VerificationError
 from repro.dad.descriptor import DistArrayDescriptor
 from repro.linearize.linearization import Linearization
 from repro.schedule.builder import build_allpairs_schedule
@@ -54,6 +54,7 @@ __all__ = [
     "verify_schedule",
     "verify_against_oracle",
     "verify_collective_plan",
+    "verify_delta_equivalence",
     "verify_linear_schedule",
     "verify_rank_plans",
 ]
@@ -420,6 +421,170 @@ def verify_collective_plan(schedule: CommSchedule,
     if failures:
         raise VerificationError(
             "collective round plan failed verification", failures)
+    return proof
+
+
+def verify_delta_equivalence(old_desc: DistArrayDescriptor,
+                             new_desc: DistArrayDescriptor, *,
+                             delta=None) -> ScheduleProof:
+    """Prove a resize delta equivalent to — and minimal against — the
+    full rebuild: *delta schedule ∘ old ownership ≡ full rebuild*.
+
+    On top of the full old→new schedule's own oracle proof
+    (:func:`verify_against_oracle`), establishes:
+
+    * **partition** — the delta's migration items plus its kept items
+      are exactly the full schedule's items, each exactly once, so
+      replaying the migration over the wire while kept elements stay
+      home writes precisely what a full rebuild would write,
+    * **minimality** — an element rides the migration schedule if and
+      only if its owner actually changed (``old_owner != new_owner``
+      under the two descriptors' owner maps), so the delta moves
+      strictly fewer bytes than the full rebuild whenever any element
+      stays put — and never one byte more,
+    * **identity ranks** — every rank the delta classifies as
+      unchanged has a bit-identical ownership fingerprint on both
+      sides and appears in no migration item (its buffer may be kept
+      in place untouched),
+    * **local repack consistency** — per rank, the compiled kept-bytes
+      (gather, scatter) plans address exactly the indices the fallback
+      region gather would, over the old and new patch layouts
+      respectively (slice fast paths expanded, like every plan check
+      here).
+
+    Returns the combined :class:`ScheduleProof`; raises
+    :class:`~repro.errors.VerificationError` listing every violated
+    property otherwise.
+    """
+    from repro.schedule.builder import build_region_schedule
+    from repro.schedule.delta import compile_delta
+
+    full = build_region_schedule(old_desc, new_desc)
+    if delta is None:
+        delta = compile_delta(old_desc, new_desc, full=full)
+    proof = verify_against_oracle(full, old_desc, new_desc)
+    failures: list[str] = []
+    shape = old_desc.shape
+    total = shape_volume(shape)
+
+    # partition: migration ∪ kept == full, disjoint.
+    migration_items = set(delta.migration.items)
+    kept_items = set(delta.kept_items)
+    overlap = migration_items & kept_items
+    union = migration_items | kept_items
+    full_items = set(full.items)
+    if overlap:
+        failures.append(
+            f"partition: {len(overlap)} item(s) both migrated and kept")
+    if union != full_items:
+        extra = len(union - full_items)
+        missing = len(full_items - union)
+        failures.append(
+            f"partition: delta items differ from the full rebuild "
+            f"({extra} extra, {missing} missing)")
+    if not overlap and union == full_items:
+        proof.passed(
+            f"partition (migration {len(migration_items)} + kept "
+            f"{len(kept_items)} items = full {len(full_items)})")
+
+    # minimality: moved elements are exactly the changed-owner set.
+    old_owner = _owner_map(old_desc)
+    new_owner = _owner_map(new_desc)
+    changed = old_owner != new_owner
+    moved_mask = np.zeros(total, dtype=bool)
+    bad_route = 0
+    for it in delta.migration.items:
+        idx = region_flat_indices(it.region, shape)
+        moved_mask[idx] = True
+        bad_route += int(np.count_nonzero(
+            (old_owner[idx] != it.src) | (new_owner[idx] != it.dst)))
+        if it.src == it.dst:
+            failures.append(
+                f"minimality: migration item {it} moves rank "
+                f"{it.src}'s data to itself")
+    for it in delta.kept_items:
+        idx = region_flat_indices(it.region, shape)
+        bad_route += int(np.count_nonzero(
+            (old_owner[idx] != it.src) | (new_owner[idx] != it.dst)))
+        if it.src != it.dst:
+            failures.append(
+                f"minimality: kept item {it} actually changes owner")
+    if bad_route:
+        failures.append(
+            f"routing: {bad_route} element(s) of the delta disagree with "
+            f"the descriptors' owner maps")
+    spurious = int(np.count_nonzero(moved_mask & ~changed))
+    unmoved = int(np.count_nonzero(changed & ~moved_mask))
+    if spurious or unmoved:
+        failures.append(
+            f"minimality: {spurious} element(s) migrated without an "
+            f"owner change, {unmoved} changed owner but never migrated")
+    n_changed = int(np.count_nonzero(changed))
+    if not (spurious or unmoved or bad_route):
+        proof.passed(
+            f"minimality (migrates exactly the {n_changed} changed-owner "
+            f"elements of {total}; {total - n_changed} stay home)")
+    if delta.moved_elements + delta.kept_elements != total:
+        failures.append(
+            f"accounting: moved {delta.moved_elements} + kept "
+            f"{delta.kept_elements} != {total} total elements")
+
+    # identity ranks: fingerprint-identical and untouched by migration.
+    touched: set[int] = set()
+    for it in delta.migration.items:
+        touched.add(it.src)
+        touched.add(it.dst)
+    id_ok = True
+    for r in sorted(delta.identity_ranks):
+        if old_desc.ownership_key(r) != new_desc.ownership_key(r):
+            failures.append(
+                f"identity rank {r}: ownership fingerprints differ")
+            id_ok = False
+        if r in touched:
+            failures.append(
+                f"identity rank {r}: appears in a migration item")
+            id_ok = False
+    if id_ok:
+        proof.passed(
+            f"identity ranks ({len(delta.identity_ranks)} keep their "
+            f"buffer in place)")
+
+    # local repack plans vs the fallback gather on both layouts.
+    plan_pairs = 0
+    for rank, regions in sorted(delta.kept_by_rank.items()):
+        try:
+            plans = delta.local_plan(rank)
+        except ScheduleError as exc:
+            # A misclassified item references data the rank never owns
+            # on one side; surface it as a failed property, not a crash.
+            failures.append(
+                f"local repack rank {rank}: plan compilation failed "
+                f"({exc})")
+            continue
+        if plans is None:
+            continue
+        gather, scatter = plans
+        old_ix = LocalIndexer(list(old_desc.local_regions(rank)))
+        new_ix = LocalIndexer(list(new_desc.local_regions(rank)))
+        for pp, indexer, side in ((gather, old_ix, "gather"),
+                                  (scatter, new_ix, "scatter")):
+            expect = (np.concatenate(
+                [indexer.region_indices(r) for r in regions])
+                if regions else np.empty(0, dtype=np.int64))
+            got = _materialize(pp)
+            if got.shape != expect.shape or not np.array_equal(got, expect):
+                failures.append(
+                    f"local repack rank {rank}: {side} plan selects "
+                    f"different elements than the fallback gather")
+            else:
+                plan_pairs += 1
+    if not any(f.startswith("local repack") for f in failures):
+        proof.passed(
+            f"local repack plan consistency ({plan_pairs} plans)")
+
+    if failures:
+        raise VerificationError(
+            "delta schedule failed equivalence verification", failures)
     return proof
 
 

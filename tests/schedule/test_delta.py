@@ -1,0 +1,277 @@
+"""Delta-schedule compiler unit tests: partition/minimality of the
+diff, verbatim plan reuse on warm starts, the bounded LRU schedule
+cache, and the DRI reorg routing through it."""
+
+import numpy as np
+import pytest
+
+from repro.dad import (
+    BlockCyclic,
+    CartesianTemplate,
+    Cyclic,
+    DistArrayDescriptor,
+    GeneralizedBlock,
+)
+from repro.dad.template import block_template
+from repro.errors import ScheduleError, VerificationError
+from repro.schedule import (
+    GLOBAL_CACHE,
+    ScheduleCache,
+    build_region_schedule,
+    compile_delta,
+    resolve_cache_max,
+)
+from repro.schedule.delta import DeltaSchedule
+from repro.util.counters import REDIST_STATS
+from repro.verify.schedule import verify_delta_equivalence
+
+
+def _gb(sizes):
+    return DistArrayDescriptor(
+        CartesianTemplate([GeneralizedBlock(sum(sizes), list(sizes))]))
+
+
+B8 = DistArrayDescriptor(block_template((64,), (8,)))
+B10 = DistArrayDescriptor(block_template((64,), (10,)))
+GB8 = _gb([10] * 8)
+GB10 = _gb([10] * 7 + [4, 3, 3])
+
+
+# -- the diff ---------------------------------------------------------------
+
+
+def test_delta_partitions_the_full_schedule():
+    full = build_region_schedule(B8, B10)
+    delta = compile_delta(B8, B10, full=full)
+    assert all(it.src != it.dst for it in delta.migration.items)
+    assert all(it.src == it.dst for it in delta.kept_items)
+    assert (set(delta.migration.items) | set(delta.kept_items)
+            == set(full.items))
+    assert delta.moved_elements + delta.kept_elements == 64
+    assert delta.migrated_bytes() < full.nbytes(np.float64)
+
+
+def test_delta_moves_exactly_the_changed_owner_elements():
+    old = DistArrayDescriptor(CartesianTemplate([Cyclic(40, 8)]))
+    new = DistArrayDescriptor(CartesianTemplate([Cyclic(40, 10)]))
+    delta = compile_delta(old, new)
+    # k keeps its owner iff k mod 8 == k mod 10, i.e. k mod 40 < 8.
+    assert delta.kept_elements == 8
+    assert delta.moved_elements == 32
+
+
+def test_identity_ranks_detected_on_tail_split():
+    delta = compile_delta(GB8, GB10)
+    assert delta.identity_ranks == frozenset(range(7))
+    assert delta.local_plan(0) is None  # identity: no repack at all
+    touched = {it.src for it in delta.migration.items} | \
+              {it.dst for it in delta.migration.items}
+    assert touched.isdisjoint(delta.identity_ranks)
+
+
+def test_degenerate_resize_moves_nothing():
+    delta = compile_delta(B8, DistArrayDescriptor(
+        block_template((64,), (8,))))
+    assert delta.moved_elements == 0
+    assert delta.identity_ranks == frozenset(range(8))
+
+
+def test_local_repack_round_trips():
+    old = DistArrayDescriptor(block_template((64,), (8,)))
+    new = DistArrayDescriptor(CartesianTemplate([Cyclic(64, 8)]))
+    delta = compile_delta(old, new)
+    g = np.arange(64, dtype=np.float64)
+    for rank in range(8):
+        old_flat = np.concatenate(
+            [g[r.to_slices()].reshape(-1) for r in old.local_regions(rank)])
+        new_flat = np.full(new.local_volume(rank), -1.0)
+        delta.apply_local(rank, old_flat, new_flat)
+        # every kept element landed at its new-layout position.
+        regions = delta.kept_by_rank.get(rank, [])
+        expect = np.full(new.local_volume(rank), -1.0)
+        from repro.schedule.indexplan import LocalIndexer
+        ix = LocalIndexer(list(new.local_regions(rank)))
+        for r in regions:
+            expect[ix.region_indices(r)] = g[r.to_slices()].reshape(-1)
+        np.testing.assert_array_equal(new_flat, expect)
+
+
+def test_delta_rejects_shape_and_dtype_mismatch():
+    with pytest.raises(ScheduleError):
+        compile_delta(B8, DistArrayDescriptor(block_template((32,), (8,))))
+    with pytest.raises(ScheduleError):
+        compile_delta(B8, DistArrayDescriptor(
+            block_template((64,), (8,)), np.float32))
+
+
+def test_delta_memoized_on_cached_schedule():
+    cache = ScheduleCache()
+    d1 = compile_delta(B8, B10, cache=cache)
+    d2 = compile_delta(B8, B10, cache=cache)
+    assert d1 is d2
+    assert cache.hits == 1 and cache.misses == 1
+
+
+# -- the equivalence proof --------------------------------------------------
+
+
+def test_verify_delta_equivalence_passes():
+    proof = verify_delta_equivalence(GB8, GB10)
+    assert any("minimality" in c for c in proof.checks)
+    assert any("partition" in c for c in proof.checks)
+
+
+def test_verify_delta_equivalence_catches_tampering():
+    full = build_region_schedule(B8, B10)
+    delta = compile_delta(B8, B10, full=full)
+    # Misclassify: pretend a genuinely-moved item can stay home.
+    bad = DeltaSchedule(
+        B8, B10,
+        type(full)(list(delta.migration.items[1:]),
+                   full.src_nranks, full.dst_nranks),
+        delta.kept_items + [delta.migration.items[0]])
+    with pytest.raises(VerificationError) as exc:
+        verify_delta_equivalence(B8, B10, delta=bad)
+    assert "minimality" in str(exc.value)
+
+
+# -- warm starts ------------------------------------------------------------
+
+
+def _compile_all(sched, src, dst):
+    for r in range(src.nranks):
+        sched.send_plan(r, src.local_regions(r))
+    for r in range(dst.nranks):
+        sched.recv_plan(r, dst.local_regions(r))
+
+
+def test_warm_start_reuses_pairs_verbatim():
+    src = DistArrayDescriptor(block_template((80,), (4,)))
+    cache = ScheduleCache()
+    s1 = cache.get(src, GB8)
+    _compile_all(s1, src, GB8)
+    REDIST_STATS.reset()
+    s2 = cache.get(src, GB10)
+    stats = REDIST_STATS.snapshot()
+    assert stats["pairs_reused"] > 0
+    fresh = build_region_schedule(src, GB10)
+    for r in range(src.nranks):
+        seeded = s2.plan_if_compiled("send", r)
+        if seeded is None:
+            continue
+        ref = fresh.send_plan(r, src.local_regions(r))
+        for a, b in zip(seeded.pairs, ref.pairs):
+            assert (a.peer, a.size, a.lo, a.step) == \
+                   (b.peer, b.size, b.lo, b.step)
+            assert (a.idx is None) == (b.idx is None)
+            if a.idx is not None:
+                np.testing.assert_array_equal(a.idx, b.idx)
+
+
+def test_warm_start_chains_across_resizes():
+    """8→10→12: the (8→10) entry seeds the (10→12) miss even though
+    the shared descriptor sits on opposite sides of the two keys."""
+    gb12 = _gb([10] * 7 + [4, 3, 2, 1])
+    cache = ScheduleCache()
+    s1 = cache.get(GB8, GB10)
+    _compile_all(s1, GB8, GB10)
+    REDIST_STATS.reset()
+    cache.get(GB10, gb12)
+    assert REDIST_STATS.get("pairs_reused") > 0
+
+
+def test_warm_start_never_reuses_across_changed_layouts():
+    """A cyclic resize changes every rank's layout: nothing may be
+    seeded, and the schedule must still verify."""
+    c8 = DistArrayDescriptor(CartesianTemplate([Cyclic(40, 8)]))
+    c10 = DistArrayDescriptor(CartesianTemplate([Cyclic(40, 10)]))
+    src = DistArrayDescriptor(block_template((40,), (4,)))
+    cache = ScheduleCache()
+    s1 = cache.get(src, c8)
+    _compile_all(s1, src, c8)
+    REDIST_STATS.reset()
+    s2 = cache.get(src, c10)
+    # src-side layouts unchanged -> send pairs with identical wire
+    # regions may be reused; recv side (all layouts changed) may not.
+    for r in range(c10.nranks):
+        assert s2.plan_if_compiled("recv", r) is None
+    from repro.verify.schedule import verify_schedule
+    verify_schedule(s2, src, c10)
+
+
+# -- the bounded cache ------------------------------------------------------
+
+
+def test_cache_lru_eviction_and_counters():
+    cache = ScheduleCache(max_entries=2)
+    cache.get(B8, B10)
+    cache.get(GB8, GB10)
+    cache.get(B8, B10)  # refresh recency
+    cache.get(B10, B8)  # evicts (GB8, GB10), the least recently used
+    assert cache.stats() == {"hits": 1, "misses": 3,
+                             "evictions": 1, "entries": 2}
+    cache.get(B8, B10)
+    assert cache.hits == 2
+    cache.get(GB8, GB10)
+    assert cache.misses == 4  # was evicted, so a miss again
+    cache.clear()
+    assert cache.stats() == {"hits": 0, "misses": 0,
+                             "evictions": 0, "entries": 0}
+
+
+def test_cache_max_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULE_CACHE_MAX", "1")
+    cache = ScheduleCache()
+    assert cache.max_entries == 1
+    cache.get(B8, B10)
+    cache.get(GB8, GB10)
+    assert len(cache) == 1 and cache.evictions == 1
+    monkeypatch.setenv("REPRO_SCHEDULE_CACHE_MAX", "0")  # unbounded
+    cache.get(B8, B10)
+    cache.get(B10, B8)
+    assert len(cache) == 3
+    monkeypatch.setenv("REPRO_SCHEDULE_CACHE_MAX", "-3")
+    with pytest.raises(ScheduleError):
+        resolve_cache_max()
+    monkeypatch.setenv("REPRO_SCHEDULE_CACHE_MAX", "lots")
+    with pytest.raises(ScheduleError):
+        resolve_cache_max()
+
+
+def test_resolve_cache_max_explicit_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULE_CACHE_MAX", "7")
+    assert resolve_cache_max() == 7
+    assert resolve_cache_max(3) == 3
+    monkeypatch.delenv("REPRO_SCHEDULE_CACHE_MAX")
+    from repro.schedule.builder import DEFAULT_SCHEDULE_CACHE_MAX
+    assert resolve_cache_max() == DEFAULT_SCHEDULE_CACHE_MAX
+
+
+# -- DRI reorg routing ------------------------------------------------------
+
+
+def test_dri_reorg_shares_the_schedule_cache():
+    from repro.dri.dataset import BLOCK, DRIDataset
+    from repro.dri.reorg import DRIReorg
+
+    cache = ScheduleCache()
+    src = DRIDataset((64,), [BLOCK(8)])
+    dst = DRIDataset((64,), [BLOCK(10)])
+    r1 = DRIReorg(src, dst, cache=cache)
+    r2 = DRIReorg(src, dst, cache=cache)
+    assert r1.schedule is r2.schedule
+    assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+
+def test_dri_reorg_defaults_to_global_cache():
+    from repro.dri.dataset import BLOCK, DRIDataset
+    from repro.dri.reorg import DRIReorg
+
+    src = DRIDataset((48,), [BLOCK(6)])
+    dst = DRIDataset((48,), [BLOCK(8)])
+    before = len(GLOBAL_CACHE)
+    hits0 = GLOBAL_CACHE.hits
+    DRIReorg(src, dst)
+    DRIReorg(src, dst)
+    assert GLOBAL_CACHE.hits == hits0 + 1
+    assert len(GLOBAL_CACHE) >= before
