@@ -5,7 +5,15 @@ because checking that the actual values match might incur in a
 performance penalty."  This ablation quantifies the penalty: collective
 PRMI calls with and without ``verify_simple``, over caller counts and
 argument sizes.
+
+It also carries the race-sanitizer analogue (:func:`tsan_guard`): with
+``REPRO_TSAN`` off the slot-ring hot path must do *zero* sanitizer
+work — the guard is one global load per verb — proven by exact counter
+deltas, with the per-op wall cost of the enabled sanitizer alongside
+for scale (``tsan_guard`` section of ``BENCH_schedule.json``).
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -14,6 +22,9 @@ from _common import banner, fmt_table
 from repro.cca.sidl import arg, method, port
 from repro.prmi import CalleeEndpoint, CallerEndpoint
 from repro.simmpi import NameService, run_coupled
+from repro.simmpi import sanitize
+from repro.simmpi.shm import SegmentPool
+from repro.util.counters import RACE_STATS
 
 PORT = port("P", method("take", arg("blob")))
 CALLS = 10
@@ -48,6 +59,63 @@ def run_calls(m, blob_elems, verify):
     return max(out["caller"])
 
 
+def tsan_guard(rounds=20_000):
+    """Prove the ``REPRO_TSAN`` hooks cost nothing when disabled: a
+    slot-ring acquire/release hot loop must record *zero* sanitizer
+    work (exact counter total), with the enabled sanitizer's per-op
+    cost measured alongside for scale."""
+
+    def loop(pool, n):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            s = pool.acquire(0)
+            pool.release(s)
+        return time.perf_counter() - t0
+
+    was = sanitize.enabled()
+    try:
+        # --- disabled (the default): one global load per verb ----------
+        sanitize.set_tsan(False)
+        RACE_STATS.reset()
+        pool = SegmentPool(1, slot_bytes=256, slots_per_endpoint=2)
+        try:
+            loop(pool, rounds // 10)            # warm the ring
+            t_off = loop(pool, rounds)
+        finally:
+            pool.close()
+            pool.unlink()
+        disabled_work = sum(RACE_STATS.snapshot().values())
+
+        # --- enabled: vector clocks + shadow plane per verb ------------
+        sanitize.set_tsan(True)
+        pool = SegmentPool(1, slot_bytes=256, slots_per_endpoint=2)
+        try:
+            loop(pool, rounds // 10)
+            RACE_STATS.reset()
+            sanitize.clear_reports()
+            t_on = loop(pool, rounds)
+        finally:
+            pool.close()
+            pool.unlink()
+        snap = RACE_STATS.snapshot()
+    finally:
+        sanitize.set_tsan(was)
+        sanitize.clear_reports()
+        RACE_STATS.reset()
+
+    ops = 2 * rounds                            # acquire + release
+    return {
+        "rounds": rounds,
+        "disabled_sanitizer_work_total": disabled_work,
+        "disabled_ns_per_op": t_off / ops * 1e9,
+        "enabled_ns_per_op": t_on / ops * 1e9,
+        "enabled_sync_ops": snap.get("sync_ops", 0),
+        "enabled_reports": snap.get("reports", 0),
+        "passed": (disabled_work == 0 and snap.get("sync_ops", 0) > 0
+                   and snap.get("reports", 0) == 0),
+    }
+
+
 def report():
     print(banner("A2 (ablation): simple-argument verification cost "
                  f"({CALLS} calls)"))
@@ -66,6 +134,14 @@ def report():
           "\nall callers on every invocation — the penalty grows with both"
           "\ncaller count and argument size, which is exactly why the CCA"
           "\nleaves enforcement optional.")
+
+    guard = tsan_guard()
+    print(f"\nRace-sanitizer guard ({guard['rounds']} slot rounds): "
+          f"disabled sanitizer work {guard['disabled_sanitizer_work_total']}"
+          f" (floor: 0) at {guard['disabled_ns_per_op']:.0f} ns/op; "
+          f"enabled, {guard['enabled_sync_ops']} sync ops and "
+          f"{guard['enabled_reports']} reports (floor: 0) at "
+          f"{guard['enabled_ns_per_op']:.0f} ns/op.")
 
 
 @pytest.mark.parametrize("verify", [False, True], ids=["off", "on"])

@@ -60,6 +60,7 @@ from repro.schedule.costmodel import (choose_planner, resolve_planner,
 from repro.schedule.bufpool import BufferPool
 from repro.schedule.plan import CommSchedule, LinearSchedule
 from repro.simmpi import payload
+from repro.simmpi import sanitize as _san
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.intercomm import Intercommunicator
 from repro.util.counters import TRANSPORT_STATS
@@ -577,6 +578,10 @@ class PersistentReceiver:
             self._rma_armed = False
             if self._win is not None:
                 self._win.fence(timeout=timeout)
+                if _san.ACTIVE is not None:
+                    # The destination array is handed back to the caller
+                    # here — the seqlock read site of the epoch protocol.
+                    self._win.check_read()
             return self._plan.element_count
         self.arm()
         slots, self._slots = self._slots, None

@@ -41,6 +41,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import DeadlockError
 from repro.simmpi import payload
+from repro.simmpi import sanitize as _san
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
 from repro.util.counters import TRANSPORT_STATS
 
@@ -59,6 +60,10 @@ class Envelope:
     #: buffers): invoked exactly once when the transport has consumed
     #: the payload without handing the buffer itself to the receiver.
     release: Optional[Callable[[], None]] = None
+    #: Sender's vector clock under ``REPRO_TSAN=1`` (the mailbox
+    #: handoff happens-before edge); ``None`` — and never touched —
+    #: when the sanitizer is off.
+    clock: Optional[dict] = None
 
 
 class AbortFlag:
@@ -120,7 +125,7 @@ class PrepostSlot:
     """
 
     __slots__ = ("context", "source", "tag", "sink", "done", "result",
-                 "_mailbox")
+                 "clock", "_mailbox")
 
     def __init__(self, mailbox: "Mailbox", context: int, source: int,
                  tag: int, sink: Callable[[Any], int]):
@@ -130,6 +135,7 @@ class PrepostSlot:
         self.sink = sink
         self.done = False
         self.result: int = 0
+        self.clock: Optional[dict] = None   # sender clock (REPRO_TSAN)
         self._mailbox = mailbox
 
     def matches(self, env: Envelope) -> bool:
@@ -199,10 +205,14 @@ class Mailbox:
         into ``env.payload`` before enqueueing — no alias to the
         sender's storage survives this call either way.
         """
+        san = _san.ACTIVE
+        if san is not None:
+            san.env_stamp(env)
         with self._cond:
             slot = self._match_slot(env)
             if slot is not None:
                 self._slots.remove(slot)
+                slot.clock = env.clock
                 slot._complete(live if live is not None else env.payload)
                 if env.release is not None:
                     env.release()
@@ -266,6 +276,9 @@ class Mailbox:
             if idx is not None:
                 env = self._messages.pop(idx)
                 TRANSPORT_STATS.gauge_add("resident_bytes", -env.nbytes)
+                san = _san.ACTIVE
+                if san is not None:
+                    san.env_join(env.clock)
                 slot._complete(env.payload)
                 if env.release is not None:
                     env.release()
@@ -288,6 +301,9 @@ class Mailbox:
             with self._cond:
                 while True:
                     if slot.done:
+                        san = _san.ACTIVE
+                        if san is not None:
+                            san.env_join(slot.clock)
                         self._progress()
                         return slot.result
                     if not blocked:
@@ -339,6 +355,9 @@ class Mailbox:
                         TRANSPORT_STATS.gauge_add("resident_bytes",
                                                   -env.nbytes)
                         TRANSPORT_STATS.add("messages_matched")
+                        san = _san.ACTIVE
+                        if san is not None:
+                            san.env_join(env.clock)
                         self._progress()
                         return env
                     if not blocked:
@@ -398,6 +417,9 @@ class Mailbox:
                             TRANSPORT_STATS.gauge_add("resident_bytes",
                                                       -env.nbytes)
                             TRANSPORT_STATS.add("messages_matched")
+                            san = _san.ACTIVE
+                            if san is not None:
+                                san.env_join(env.clock)
                             self._progress()
                             return env
                     if not blocked:

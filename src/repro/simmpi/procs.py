@@ -62,6 +62,7 @@ import numpy as np
 from repro.errors import CommunicatorError, SpmdError
 from repro.simmpi import communicator as _comm_mod
 from repro.simmpi import payload as _payload
+from repro.simmpi import sanitize as _san
 from repro.simmpi import shm
 from repro.simmpi import transport as _transport
 from repro.simmpi.matching import Envelope, Mailbox
@@ -197,7 +198,9 @@ class ProcTransport(Transport):
             elif nbytes > rt.pool.slot_bytes:
                 rt.pool.stats.add("oversize")
             if slot >= 0:
-                dst = rt.pool.slot_view(slot, nbytes)
+                dst = rt.pool.slot_view(
+                    slot, nbytes,
+                    dtype=buf.dtype if kind == shm.ND else None)
                 if kind == shm.ND:
                     np.copyto(dst.view(buf.dtype).reshape(buf.shape), buf)
                 else:
@@ -220,9 +223,15 @@ class ProcTransport(Transport):
             # the wire (slot or inline blob) now owns the bytes: the
             # sender's pooled buffer is free to be reused immediately
             env.release()
-        rt.spec.queues[endpoint].put(
-            (shm.MSG, env.context, env.source, env.tag, env.nbytes,
-             kind, meta, slot, inline))
+        msg = (shm.MSG, env.context, env.source, env.tag, env.nbytes,
+               kind, meta, slot, inline)
+        san = _san.ACTIVE
+        if san is not None:
+            # wire piggyback: the sender's vector clock plus the slot's
+            # shadow generation ride as an optional tenth field (the
+            # nine-field format is untouched when the sanitizer is off)
+            msg = msg + (san.slot_publish(rt.pool, slot),)
+        rt.spec.queues[endpoint].put(msg)
         self._rt.bump_progress()
 
 
@@ -310,6 +319,7 @@ class ProcRuntime:
     def _pump_loop(self) -> None:
         q = self.spec.queues[self.endpoint]
         mailbox = self.transport.mailbox(self.job_rank)
+        _san.register_actor(f"ep{self.endpoint}.pump")
         while True:
             msg = q.get()
             verb = msg[0]
@@ -322,8 +332,16 @@ class ProcRuntime:
             if verb == shm.RDV_REPLY:
                 self.rdv.put(msg[1])
                 continue
-            _, context, source, tag, nbytes, kind, meta, slot, inline = msg
-            raw = (self.spec.pool.slot_view(slot, nbytes)
+            (_, context, source, tag, nbytes, kind, meta, slot, inline,
+             *extra) = msg
+            san = _san.ACTIVE
+            if san is not None and extra:
+                # happens-before join with the sender, plus the
+                # generation check that catches slot reuse in flight
+                san.slot_consume(self.spec.pool, slot, extra[0])
+            raw = (self.spec.pool.slot_view(
+                       slot, nbytes,
+                       dtype=np.dtype(meta[0]) if kind == shm.ND else None)
                    if slot >= 0 else inline)
             value = shm.decode_payload(kind, meta, raw, inline)
             env = Envelope(context, source, tag, None, nbytes)
@@ -365,6 +383,7 @@ def _child_main(spec: DomainSpec, endpoint: int, job_index: int,
     # collide with another process's allocations or the broker's range
     _comm_mod._next_context = (endpoint + 1) << CHILD_CTX_SHIFT
     _transport.set_current_runtime(rt)
+    _san.register_actor(f"ep{endpoint}")
     job = Job(jobspec.n, name=jobspec.name,
               transport_factory=rt.make_transport)
     rt.job = job
@@ -372,6 +391,17 @@ def _child_main(spec: DomainSpec, endpoint: int, job_index: int,
     comm = job.world(rt.job_rank, jobspec.world_context)
     try:
         result = fn(comm, *args, **kwargs)
+        san = _san.ACTIVE
+        if san is not None and san.race_reports:
+            # a rank that finished cleanly but accumulated sanitizer
+            # reports fails: the REPRO_TSAN=1 CI shard is thereby a
+            # whole-suite zero-report proof
+            reps = san.race_reports
+            raise RuntimeError(
+                f"race sanitizer recorded {len(reps)} report(s) in "
+                f"rank {rt.job_rank}: " + " | ".join(
+                    f"[{r.kind}] {r.site}: {r.detail}"
+                    for r in reps[:3]))
         blob = _safe_dumps(result)
         spec.state.set_finished(endpoint)
         spec.results.put(("DONE", endpoint, blob))

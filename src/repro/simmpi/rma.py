@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.errors import DeadlockError, ScheduleError
 from repro.schedule.indexplan import PairPlan
+from repro.simmpi import sanitize as _san
 from repro.simmpi.matching import Mailbox
 from repro.simmpi.shm import WindowSegment
 from repro.util.counters import TRANSPORT_STATS
@@ -124,6 +125,9 @@ class ExposedWindow:
         """Open the next exposure epoch: remote writes are licensed
         until the matching :meth:`fence` completes."""
         self._epoch += 1
+        san = _san.ACTIVE
+        if san is not None:
+            san.win_open(self._seg, self._epoch)
         self._seg.set_epoch(self._epoch)
         return self._epoch
 
@@ -137,6 +141,9 @@ class ExposedWindow:
         k = self._epoch
         seg = self._seg
         if seg.min_done() >= k:
+            san = _san.ACTIVE
+            if san is not None:
+                san.win_fence(seg, k)
             TRANSPORT_STATS.add("rma_fences")
             return
         desc = f"rma_fence(window={seg.name}, epoch={k})"
@@ -156,8 +163,20 @@ class ExposedWindow:
                 abort.wait(RMA_POLL)
         finally:
             self._mailbox.set_block_desc(None)
+        san = _san.ACTIVE
+        if san is not None:
+            san.win_fence(seg, k)
         TRANSPORT_STATS.add("rma_fences")
         self._mailbox.note_progress()
+
+    def check_read(self) -> None:
+        """``REPRO_TSAN`` read-site hook: record a torn-seqlock-read
+        report if the payload is read while an exposure epoch is still
+        open (between ``epoch_open`` and the matching ``fence``).
+        No-op when the sanitizer is off."""
+        san = _san.ACTIVE
+        if san is not None:
+            san.win_read(self._seg)
 
     def close(self) -> None:
         """Tear the window down (close + unlink; owner side)."""
@@ -185,6 +204,9 @@ class RemoteWindow:
         """Spin until the owner has opened exposure epoch ``epoch``."""
         seg = self._seg
         if seg.epoch() >= epoch:
+            san = _san.ACTIVE
+            if san is not None:
+                san.win_wait_open(seg, epoch)
             return
         TRANSPORT_STATS.add("rma_epoch_waits")
         desc = f"rma_put(window={seg.name}, epoch={epoch})"
@@ -204,6 +226,9 @@ class RemoteWindow:
                 abort.wait(RMA_POLL)
         finally:
             self._mailbox.set_block_desc(None)
+        san = _san.ACTIVE
+        if san is not None:
+            san.win_wait_open(seg, epoch)
         self._mailbox.note_progress()
 
     def put(self, values: np.ndarray) -> int:
@@ -211,6 +236,9 @@ class RemoteWindow:
         window via the receiver's compiled plan.  Returns the element
         count.  Must only run inside an open exposure epoch
         (:meth:`wait_open`)."""
+        san = _san.ACTIVE
+        if san is not None:
+            san.win_put(self._seg, self._writer)
         n = self._plan.scatter(self.buffer, values)
         TRANSPORT_STATS.add("rma_puts")
         TRANSPORT_STATS.add("rma_put_bytes", n * self.buffer.itemsize)
@@ -219,6 +247,9 @@ class RemoteWindow:
     def commit(self, epoch: int) -> None:
         """Publish this writer's puts for ``epoch`` (store the done
         counter the owner's fence spins on)."""
+        san = _san.ACTIVE
+        if san is not None:
+            san.win_commit(self._seg, self._writer, epoch)
         self._seg.set_done(self._writer, epoch)
 
     def close(self) -> None:

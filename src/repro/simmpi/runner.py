@@ -31,6 +31,7 @@ import time
 from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import SpmdError
+from repro.simmpi import sanitize as _san
 from repro.simmpi.communicator import Communicator, allocate_context
 from repro.simmpi.matching import AbortFlag
 from repro.simmpi.transport import ThreadTransport, resolve_backend
@@ -186,6 +187,7 @@ class SpmdRunner:
 
     def _rank_main(self, rank: int, fn: Callable[..., Any],
                    args: tuple, kwargs: dict) -> None:
+        _san.register_actor(f"{self.job.name}-rank{rank}")
         comm = self.job.world(rank, self._world_context)
         try:
             self._results[rank] = fn(comm, *args, **kwargs)

@@ -38,13 +38,17 @@ Wire format of one control message (pickled by the queue):
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
+import sys
+import threading
 from multiprocessing import shared_memory
 from typing import Any, Optional
 
 import numpy as np
 
+from repro.simmpi import sanitize as _san
 from repro.util.counters import Counters, TRANSPORT_STATS
 
 __all__ = ["SegmentPool", "SharedState", "WindowSegment",
@@ -110,13 +114,29 @@ class SegmentPool:
         self.slot_bytes = (int(slot_bytes) + 63) & ~63
         self.slots_per_endpoint = int(slots_per_endpoint)
         self.nslots = endpoints * self.slots_per_endpoint
-        # flags live at the front, 64-byte aligned payload area after
+        # flags live at the front, 64-byte aligned payload area after;
+        # under REPRO_TSAN a shadow plane (per-slot holder token +
+        # generation counter) rides at the tail of the same segment so
+        # forked peers share one copy of the sanitizer's slot state.
         self._data_off = (self.nslots + 63) & ~63
+        self._tsan_off = self._data_off + self.nslots * self.slot_bytes
+        shadow = 8 * self.nslots if _san.enabled() else 0
         self._shm = shared_memory.SharedMemory(
-            create=True, size=self._data_off + self.nslots * self.slot_bytes)
+            create=True, size=self._tsan_off + shadow)
         self._flags = np.ndarray(self.nslots, dtype=np.uint8,
                                  buffer=self._shm.buf)
-        self._flags[:] = _FREE
+        self._flags[:] = _FREE  # verify: allow(V109) - pre-publication init
+        if shadow:
+            self._tsan_holder = np.ndarray(
+                self.nslots, dtype=np.int32, buffer=self._shm.buf,
+                offset=self._tsan_off)
+            self._tsan_gen = np.ndarray(
+                self.nslots, dtype=np.uint32, buffer=self._shm.buf,
+                offset=self._tsan_off + 4 * self.nslots)
+            self._tsan_holder[:] = 0
+            self._tsan_gen[:] = 0
+        else:
+            self._tsan_holder = self._tsan_gen = None
         #: per-process slot accounting (bufpool-style names)
         self.stats = Counters()
 
@@ -130,6 +150,9 @@ class SegmentPool:
         for s in range(lo, lo + self.slots_per_endpoint):
             if self._flags[s] == _FREE:
                 self._flags[s] = _BUSY
+                san = _san.ACTIVE
+                if san is not None and self._tsan_holder is not None:
+                    san.slot_acquired(self, s)
                 self.stats.add("reuses")
                 # gauges are per process: acquire charges the sender's
                 # process, release credits the receiver's — each side's
@@ -142,19 +165,44 @@ class SegmentPool:
 
     def release(self, slot: int) -> None:
         """Receiver side: mark ``slot`` consumed (reusable by its owner)."""
+        san = _san.ACTIVE
+        if san is not None and self._tsan_holder is not None:
+            # shadow holder must clear before the flag flips, so a
+            # racing acquire of a half-released slot sees it held
+            san.slot_released(self, slot)
         self._flags[slot] = _FREE
         self.stats.add("releases")
         TRANSPORT_STATS.gauge_add("slot_bytes", -self.slot_bytes)
         TRANSPORT_STATS.gauge_add("resident_bytes", -self.slot_bytes)
 
-    def slot_view(self, slot: int, nbytes: int) -> np.ndarray:
-        """A uint8 view of the first ``nbytes`` of ``slot``'s payload."""
+    def slot_view(self, slot: int, nbytes: int,
+                  dtype: Any = None) -> np.ndarray:
+        """A uint8 view of the first ``nbytes`` of ``slot``'s payload.
+
+        ``dtype`` declares how the caller will reinterpret the bytes;
+        passing it validates that the payload is a whole number of
+        elements and that the slot start satisfies the dtype's
+        alignment, instead of letting a sender/receiver dtype mismatch
+        silently reinterpret bytes.
+        """
         if nbytes > self.slot_bytes:
             raise ValueError(
                 f"payload of {nbytes} bytes does not fit in a "
                 f"{self.slot_bytes}-byte slot — raise slot_bytes or ship "
                 f"the payload inline")
         off = self._data_off + slot * self.slot_bytes
+        if dtype is not None:
+            dt = np.dtype(dtype)
+            if dt.itemsize and nbytes % dt.itemsize:
+                raise ValueError(
+                    f"slot {slot}: payload of {nbytes} bytes is not a "
+                    f"whole number of {dt} elements (itemsize "
+                    f"{dt.itemsize}) — sender/receiver dtype mismatch")
+            align = dt.alignment or 1
+            if off % align:
+                raise ValueError(
+                    f"slot {slot}: payload offset {off} is not "
+                    f"{align}-byte aligned for dtype {dt}")
         return np.ndarray(nbytes, dtype=np.uint8,
                           buffer=self._shm.buf, offset=off)
 
@@ -162,6 +210,7 @@ class SegmentPool:
 
     def close(self) -> None:
         self._flags = None
+        self._tsan_holder = self._tsan_gen = None
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - stray views in teardown
@@ -203,17 +252,20 @@ class WindowSegment:
     The owner creates the segment and is responsible for ``unlink``;
     writers attach by name and only ever ``close``.
 
-    ``close`` deliberately does **not** unmap.  NumPy releases its
-    ``Py_buffer`` on ``shm.buf`` as soon as a view's data pointer is
-    captured (keeping only an object reference), so
-    ``SharedMemory.close()`` sees zero exports and happily munmaps pages
-    that application arrays — a :meth:`~repro.dad.darray.
+    ``close`` deliberately does **not** unmap immediately.  NumPy
+    releases its ``Py_buffer`` on ``shm.buf`` as soon as a view's data
+    pointer is captured (keeping only an object reference), so
+    ``SharedMemory.close()`` sees zero exports and happily munmaps
+    pages that application arrays — a :meth:`~repro.dad.darray.
     DistributedArray.rebase`-d destination array lives *inside* the
     payload — still address; the next read is a segfault.  ``close``
-    therefore only drops this object's header views and parks the
-    mapping in a module-level list; the pages are reclaimed at process
-    exit (windows are per-channel, so the residue is bounded by the
-    handful of channels a rank ever opens, not by traffic).
+    therefore drops this object's header views and retires the mapping
+    into :data:`RETIRED_WINDOWS`, a generation-counted free list that
+    reclaims it as soon as no live view can reference the pages (every
+    derived view — header fields, dtype views, rebased arrays — holds
+    a reference chain back to the payload root, so root refcount decay
+    is the proof).  The ``retired_segments`` / ``retired_bytes``
+    TRANSPORT_STATS gauges track what is parked awaiting reclamation.
     """
 
     _HDR_ALIGN = 64
@@ -222,6 +274,10 @@ class WindowSegment:
                  _attach_name: Optional[str] = None):
         if nbytes <= 0 or nwriters <= 0:
             raise ValueError("window needs nbytes > 0 and nwriters > 0")
+        # opportunistic reclamation: every new window sweeps the free
+        # list, so retired residue is bounded by *live* views, not by
+        # how many channels the process has ever opened
+        RETIRED_WINDOWS.sweep()
         self.nbytes = int(nbytes)
         self.nwriters = int(nwriters)
         hdr = 8 + 8 + 8 * self.nwriters
@@ -286,13 +342,14 @@ class WindowSegment:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Drop the header views and retire the mapping (see the class
-        docstring for why the pages stay mapped until process exit)."""
+        """Drop the header views and retire the mapping into the
+        generation-counted free list (see the class docstring)."""
         if getattr(self, "_closed", False):
             return
         self._closed = True
-        self._epoch = self._nwriters = self._done = self.data = None
-        _RETIRED_WINDOW_MAPPINGS.append(self._shm)
+        root, self.data = self.data, None
+        self._epoch = self._nwriters = self._done = None
+        RETIRED_WINDOWS.retire(self._shm, self._shm.size, root)
 
     def unlink(self) -> None:
         try:
@@ -301,10 +358,69 @@ class WindowSegment:
             pass
 
 
-#: Mappings of closed windows, kept alive so ``SharedMemory.__del__``
-#: cannot munmap pages that rebased arrays still view (see
-#: :meth:`WindowSegment.close`).  Reclaimed at process exit.
-_RETIRED_WINDOW_MAPPINGS: list = []
+class _RetiredWindows:
+    """Generation-counted free list of closed window mappings.
+
+    :meth:`WindowSegment.close` cannot unmap while application arrays
+    still view the payload, but parking mappings forever (the PR-6
+    behaviour) leaks a whole segment per closed channel.  Each retired
+    entry gets a monotonically increasing generation and keeps the
+    window's payload-root array alive; :meth:`sweep` reclaims every
+    entry whose root is no longer referenced from anywhere else —
+    every live view of the segment (header fields excepted, which
+    ``close`` already dropped; dtype views; rebased destination
+    arrays) holds a reference chain back to that root, so refcount
+    decay to the free list's own reference proves no live view can
+    address the pages.  Sweeps run on every retire and on every new
+    window construction, and are explicitly callable; the
+    ``retired_segments`` / ``retired_bytes`` gauges (with ``peak_``
+    high-water twins) expose the parked residue.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._gen = itertools.count(1)
+        #: generation -> (mapping, nbytes, payload-root view)
+        self._entries: dict[int, tuple] = {}
+
+    def retire(self, mapping, nbytes: int, root) -> int:
+        with self._lock:
+            gen = next(self._gen)
+            self._entries[gen] = (mapping, nbytes, root)
+        TRANSPORT_STATS.gauge_add("retired_segments", 1)
+        TRANSPORT_STATS.gauge_add("retired_bytes", nbytes)
+        self.sweep()
+        return gen
+
+    def sweep(self) -> int:
+        """Unmap every retired mapping with no outside reference to its
+        payload root; returns how many were reclaimed."""
+        freed = 0
+        with self._lock:
+            for gen in sorted(self._entries):
+                mapping, nbytes, _root = self._entries[gen]
+                # Baseline refcount 3: the entry tuple, the ``_root``
+                # local just unpacked, and getrefcount's own argument.
+                # Anything above that is a live outside view.
+                if _root is not None and sys.getrefcount(_root) > 3:
+                    continue
+                try:
+                    mapping.close()
+                except BufferError:  # pragma: no cover - exported view
+                    continue         # keep the entry; retry next sweep
+                del self._entries[gen]
+                TRANSPORT_STATS.gauge_add("retired_segments", -1)
+                TRANSPORT_STATS.gauge_add("retired_bytes", -nbytes)
+                freed += 1
+        return freed
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Closed-window mappings awaiting reclamation (one per process).
+RETIRED_WINDOWS = _RetiredWindows()
 
 
 # -- watchdog state ----------------------------------------------------------
@@ -347,7 +463,7 @@ class SharedState:
         self._reason = np.ndarray(_REASON_BYTES, dtype=np.uint8,
                                   buffer=buf, offset=off)
         self.progress[:] = 0
-        self.state[:] = STATE_RUNNING
+        self.state[:] = STATE_RUNNING  # verify: allow(V109) - init
         self._descs[:] = 0
         self._abort[0] = 0
         self._reason[:] = 0
@@ -355,9 +471,16 @@ class SharedState:
     # -- rank side (single writer per endpoint) ----------------------------
 
     def bump(self, endpoint: int) -> None:
+        san = _san.ACTIVE
+        if san is not None:
+            san.state_write(endpoint, f"state.bump(endpoint={endpoint})")
         self.progress[endpoint] += np.uint64(1)
 
     def set_blocked(self, endpoint: int, desc: Optional[str]) -> None:
+        san = _san.ACTIVE
+        if san is not None:
+            san.state_write(endpoint,
+                            f"state.set_blocked(endpoint={endpoint})")
         if self.state[endpoint] == STATE_FINISHED:
             return
         if desc is None:
@@ -369,6 +492,10 @@ class SharedState:
         self.state[endpoint] = STATE_BLOCKED
 
     def set_finished(self, endpoint: int) -> None:
+        san = _san.ACTIVE
+        if san is not None:
+            san.state_write(endpoint,
+                            f"state.set_finished(endpoint={endpoint})")
         self.state[endpoint] = STATE_FINISHED
 
     # -- supervisor side ---------------------------------------------------
@@ -390,6 +517,9 @@ class SharedState:
         return None
 
     def set_abort(self, reason: str) -> None:
+        san = _san.ACTIVE
+        if san is not None:
+            san.state_write(None, "state.set_abort")
         raw = reason.encode("utf-8", "replace")[:_REASON_BYTES]
         self._reason[:len(raw)] = np.frombuffer(raw, dtype=np.uint8)
         self._reason[len(raw):] = 0

@@ -136,6 +136,17 @@ def set_current_runtime(runtime) -> None:
     _current_runtime = runtime
 
 
+def current_endpoint():
+    """Endpoint id of this rank process's runtime, or ``None`` outside
+    one (threads backend, supervisor process).  The race sanitizer's
+    single-writer attribution hook: :class:`~repro.simmpi.shm.
+    SharedState` watchdog fields must only be written by the process
+    owning the endpoint, and this is the identity that claim is checked
+    against."""
+    rt = _current_runtime
+    return getattr(rt, "endpoint", None) if rt is not None else None
+
+
 class RemoteGroup:
     """Delivery handle for the ranks of a *remote* job (intercomm target).
 

@@ -174,6 +174,19 @@ PRMI_STATS = Counters()
 #: Caller-observed request latency (submit → resolved), µs buckets.
 PRMI_LATENCY = Histogram()
 
+#: Process-wide race-sanitizer accounting (:mod:`repro.simmpi.sanitize`,
+#: enabled with ``REPRO_TSAN=1``).  ``sync_ops`` counts vector-clock
+#: events at shared-memory synchronization sites (slot acquire /
+#: publish / consume / release, window epoch open / commit / fence,
+#: SharedState field writes, mailbox envelope handoffs) and ``reports``
+#: the :class:`~repro.simmpi.sanitize.RaceReport`\ s raised, with one
+#: kind-specific twin each: ``reports_unsynchronized_write``,
+#: ``reports_torn_seqlock_read``, ``reports_slot_reuse``.  Every name
+#: stays exactly zero while the sanitizer is disabled — the A2 ablation
+#: benchmark gates on that (the hooks are a single module-global
+#: ``None`` test when off).
+RACE_STATS = Counters()
+
 #: Process-wide elastic-redistribution accounting
 #: (:mod:`repro.schedule.delta`, :func:`repro.highlevel.reconfigure`).
 #:

@@ -10,6 +10,11 @@ Three analyzers, one CLI (``python -m repro.verify``):
   static communication programs (wait-for cycles, collective-order
   mismatches), reporting in the runtime watchdog's blocked-rank dump
   format.
+* :mod:`repro.verify.race` — bounded explicit-state model checks of
+  the lock-free slot-ring and epoch seqlock protocols (clean proofs at
+  bounded scope plus a seeded-mutant matrix), sharing the commgraph
+  search engine; the static half of the ``REPRO_TSAN`` race-sanitizer
+  proof obligation (:mod:`repro.simmpi.sanitize` is the dynamic half).
 * :mod:`repro.verify.lint` — AST enforcement of the zero-copy
   transport's ownership contract over ``src/``.
 
@@ -36,10 +41,17 @@ _EXPORTS = {
     "verify_rank_plans": "schedule",
     "CommProgram": "commgraph",
     "Diagnosis": "commgraph",
+    "Exploration": "commgraph",
+    "explore_states": "commgraph",
     "would_deadlock": "commgraph",
     "assert_deadlock_free": "commgraph",
     "transfer_model": "commgraph",
     "fig5_model": "commgraph",
+    "ModelResult": "race",
+    "slot_ring_model": "race",
+    "epoch_model": "race",
+    "check_protocols": "race",
+    "sanitizer_selfcheck": "race",
     "LintViolation": "lint",
     "lint_paths": "lint",
     "lint_source": "lint",

@@ -56,7 +56,7 @@ are caught before launch, mirroring the runtime watchdog's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, NamedTuple
+from typing import Any, Callable, Iterable, NamedTuple, Optional
 
 import networkx as nx
 
@@ -68,6 +68,8 @@ __all__ = [
     "Window",
     "CommProgram",
     "Diagnosis",
+    "Exploration",
+    "explore_states",
     "would_deadlock",
     "assert_deadlock_free",
     "transfer_model",
@@ -77,6 +79,92 @@ __all__ = [
     "prmi_pipeline_model",
     "prmi_batch_deadlock_model",
 ]
+
+
+@dataclass
+class Exploration:
+    """Outcome of one :func:`explore_states` search.
+
+    Exactly one of three shapes: *clean* (``ok``), *stuck* (a reachable
+    state with no enabled transition that is not final — a deadlock),
+    or *violation* (a reachable state the ``check`` predicate rejected,
+    with its explanation in ``message``).  ``trace`` is the transition
+    labels from the initial state to the offending one — a witness
+    schedule, printable as a counterexample.
+    """
+
+    stuck: Any = None
+    violation: Any = None
+    message: str = ""
+    trace: list = field(default_factory=list)
+    states: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.stuck is None and self.violation is None
+
+    def witness(self) -> str:
+        """The counterexample schedule, one transition per line."""
+        return "\n".join(f"  {i + 1}. {lbl}"
+                         for i, lbl in enumerate(self.trace))
+
+
+def explore_states(init, successors: Callable[[Any], Iterable[tuple]],
+                   is_final: Callable[[Any], bool], *,
+                   check: Optional[Callable[[Any], str]] = None,
+                   max_states: int = 1_000_000) -> Exploration:
+    """Memoized explicit-state DFS over a hashable state space.
+
+    The engine behind both :meth:`CommProgram.analyze` (deadlock
+    search) and the :mod:`repro.verify.race` protocol models (safety
+    search).  ``successors(state)`` yields ``(label, next_state)``
+    transitions; ``is_final(state)`` says whether a successor-less
+    state is an accepting terminal rather than a deadlock;
+    ``check(state)``, if given, returns a non-empty explanation string
+    for states violating a safety property.  The first stuck or
+    violating state reached wins, with its transition trace
+    reconstructed from the search's parent map.
+    """
+    seen: set = set()
+    parent: dict = {init: (None, None)}
+    stack = [init]
+    visited = 0
+
+    def trace(state) -> list:
+        labels = []
+        while True:
+            prev, label = parent[state]
+            if prev is None:
+                return list(reversed(labels))
+            labels.append(label)
+            state = prev
+
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        visited += 1
+        if visited > max_states:
+            raise RuntimeError(
+                f"explore_states: state space exceeds {max_states} states "
+                f"— widen the bound or shrink the model scope")
+        if check is not None:
+            message = check(state)
+            if message:
+                return Exploration(violation=state, message=message,
+                                   trace=trace(state), states=visited)
+        succ = list(successors(state))
+        if not succ:
+            if not is_final(state):
+                return Exploration(stuck=state, trace=trace(state),
+                                   states=visited)
+            continue
+        for label, nxt in succ:
+            if nxt not in parent:
+                parent[nxt] = (state, label)
+            stack.append(nxt)
+    return Exploration(states=visited)
 
 
 class Proc(NamedTuple):
@@ -329,8 +417,9 @@ class CommProgram:
     # -- abstract execution --------------------------------------------------
 
     def _explore(self):
-        """DFS over all provider-commitment interleavings; returns the
-        first reachable stuck (deadlocked) state or ``None``."""
+        """Search all provider-commitment interleavings on the shared
+        :func:`explore_states` engine; returns the first reachable
+        stuck (deadlocked) state or ``None``."""
         procs = sorted(self._ops)
         ops = {p: tuple(self._ops[p]) for p in procs}
         n = {p: len(ops[p]) for p in procs}
@@ -338,13 +427,8 @@ class CommProgram:
         # (sender, receiver, tag); sends are derivable from pcs so only
         # consumption needs tracking.
         init = (tuple(0 for _ in procs), (), frozenset())
-        seen = set()
-        stack = [init]
-        while stack:
-            state = stack.pop()
-            if state in seen:
-                continue
-            seen.add(state)
+
+        def successors(state):
             pcs_t, commits_t, done = state
             pcs = dict(zip(procs, pcs_t))
             commits = dict(commits_t)
@@ -368,74 +452,89 @@ class CommProgram:
                         key = (op.source, p, op.tag)
                         consumed[key] = consumed.get(key, 0) + 1
 
-            successors = []
+            out = []
 
-            def advance(moves, new_commits=None, new_done=None):
+            def advance(label, moves, new_commits=None, new_done=None):
                 np_pcs = dict(pcs)
                 for p in moves:
                     np_pcs[p] += 1
-                successors.append((
+                out.append((label, (
                     tuple(np_pcs[p] for p in procs),
                     tuple(sorted((new_commits if new_commits is not None
                                   else commits).items())),
-                    new_done if new_done is not None else done))
+                    new_done if new_done is not None else done)))
 
             for p in procs:
                 if pcs[p] >= n[p]:
                     continue
                 op = ops[p][pcs[p]]
+                label = f"{p.key}: {type(op).__name__}"
                 if isinstance(op, SendOp):
-                    advance([p])
+                    advance(label, [p])
                 elif isinstance(op, RecvOp):
                     key = (op.source, p, op.tag)
                     if sent(*key) > consumed.get(key, 0):
-                        advance([p])
+                        advance(label, [p])
                 elif isinstance(op, BarrierOp):
                     if all(pcs[m] < n[m] and ops[m][pcs[m]] is op
                            for m in op.members):
                         if p == min(op.members):
-                            advance(list(op.members))
+                            advance(label, list(op.members))
                 elif isinstance(op, (EpochOpenOp, ReadOp)):
-                    advance([p])
+                    advance(label, [p])
                 elif isinstance(op, PutOp):
                     # the writer's k-th put needs the owner's k-th
                     # exposure epoch open (RemoteWindow.wait_open)
                     k = executed(p, PutOp, op.window) + 1
                     if executed(op.window.owner, EpochOpenOp,
                                 op.window) >= k:
-                        advance([p])
+                        advance(label, [p])
                 elif isinstance(op, FenceOp):
                     # the owner's k-th fence needs every writer's k-th
                     # commit (ExposedWindow.fence on min(done))
                     k = executed(p, FenceOp, op.window) + 1
                     if all(executed(w, PutOp, op.window) >= k
                            for w in op.writers):
-                        advance([p])
+                        advance(label, [p])
                 elif isinstance(op, CallOp):
                     if id(op) in done:
-                        advance([p])
+                        advance(label, [p])
                 elif isinstance(op, ServeOp):
                     committed = commits.get(p)
                     if committed is None:
                         for c in self._pending_calls(p, ops, n, pcs, done):
                             nc = dict(commits)
                             nc[p] = c
-                            advance([], new_commits=nc)
+                            advance(f"{p.key}: commit {c.method!r}",
+                                    [], new_commits=nc)
                     else:
                         c = committed
                         if all(pcs[q] < n[q] and ops[q][pcs[q]] is c
                                for q in c.participants):
                             nc = dict(commits)
                             del nc[p]
-                            advance([p], new_commits=nc,
+                            advance(f"{p.key}: serve {c.method!r}",
+                                    [p], new_commits=nc,
                                     new_done=done | {id(c)})
+            return out
 
-            if not successors:
-                if any(pcs[p] < n[p] for p in procs):
-                    return pcs, commits, done, ops, n, consumed
-                continue
-            stack.extend(successors)
-        return None
+        def is_final(state):
+            return all(pc >= n[p] for p, pc in zip(procs, state[0]))
+
+        result = explore_states(init, successors, is_final)
+        if result.ok:
+            return None
+        pcs_t, commits_t, done = result.stuck
+        pcs = dict(zip(procs, pcs_t))
+        commits = dict(commits_t)
+        consumed: dict[tuple, int] = {}
+        for p in procs:
+            for k in range(pcs[p]):
+                op = ops[p][k]
+                if isinstance(op, RecvOp):
+                    key = (op.source, p, op.tag)
+                    consumed[key] = consumed.get(key, 0) + 1
+        return pcs, commits, done, ops, n, consumed
 
     def _pending_calls(self, provider, ops, n, pcs, done):
         """Call instances whose header has arrived at ``provider``: the

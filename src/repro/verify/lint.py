@@ -41,6 +41,18 @@ over ``src/``:
   *frame*, arrays packed as raw aligned bytes.  The codec module itself
   is exempt (it is the one place a loop may legitimately feed the
   single frame pickle).
+* **V108 — raw shared-segment field access.**  The lock-free shared
+  segments (slot-ring flags, window epoch/done counters, watchdog
+  fields, the sanitizer shadow plane) are only safe through the
+  accessor layer in :mod:`repro.simmpi.shm`, where every transition
+  carries its ordering discipline (and its ``REPRO_TSAN`` hook).
+  Indexing one of those fields anywhere else bypasses both.
+* **V109 — flag transition without a paired accessor.**  Storing a
+  FREE/BUSY or lifecycle flag constant into a subscript outside the
+  named accessor verbs (``acquire``/``release``/``set_blocked``/…)
+  flips protocol state with no release/acquire edge in scope — the
+  exact write the happens-before sanitizer exists to catch at runtime,
+  caught here at lint time.
 * **V106 — per-pair allocation without a pool loan.**  A size-dependent
   array allocation (``np.empty``/``zeros``/``ones``/``full``) inside a
   loop over communication pairs (``for pp in plan.pairs``,
@@ -75,6 +87,8 @@ RULES = {
     "V105": "one-sided put into a window with no epoch guard in scope",
     "V106": "per-pair allocation in a pair loop without a pool loan",
     "V107": "per-invocation pickle.dumps in a loop outside the frame codec",
+    "V108": "raw shared-segment field access outside the accessor layer",
+    "V109": "flag transition with no paired release/acquire accessor in scope",
 }
 
 #: The batch frame codec — the one module allowed to pickle in a loop
@@ -89,6 +103,26 @@ _WINDOW_NAME_RE = re.compile(r"win", re.IGNORECASE)
 
 #: Modules implementing the forked-process backend (V103 scope).
 PROCS_BACKEND_MODULES = ("simmpi/procs.py", "simmpi/shm.py")
+
+#: Shared-segment field names whose raw indexing is confined to the
+#: accessor layer (V108 scope): slot-ring flags, window seqlock
+#: counters, watchdog fields and the sanitizer shadow plane.
+SHARED_SEGMENT_FIELDS = {
+    "_flags", "_epoch", "_done", "_descs", "_abort", "_reason",
+    "_tsan_holder", "_tsan_gen", "progress", "state",
+}
+
+#: The accessor layer: the only modules allowed to index shared fields.
+ACCESSOR_MODULES = ("simmpi/shm.py", "simmpi/sanitize.py")
+
+#: FREE/BUSY and lifecycle flag constants whose stores V109 polices.
+_FLAG_CONSTANTS = {"_FREE", "_BUSY", "STATE_RUNNING", "STATE_BLOCKED",
+                   "STATE_FINISHED"}
+
+#: Accessor verbs that pair a flag transition with its release/acquire
+#: edge (the ``REPRO_TSAN`` hooks live inside these).
+_FLAG_ACCESSORS = {"acquire", "release", "set_blocked", "set_finished",
+                   "set_abort", "slot_acquired", "slot_released"}
 
 _ALLOW_RE = re.compile(r"#\s*verify:\s*allow\(([A-Z0-9, ]+)\)")
 
@@ -342,6 +376,55 @@ def _check_pair_loop_alloc(tree: ast.AST) -> Iterator[tuple[int, str]]:
                    f"footprint; loan the buffer from a BufferPool")
 
 
+def _check_raw_shared_access(tree: ast.AST, relpath: str,
+                             ) -> Iterator[tuple[int, str]]:
+    """V108: subscript of a shared-segment field outside the accessor
+    modules (:data:`ACCESSOR_MODULES`)."""
+    if any(relpath.endswith(m) for m in ACCESSOR_MODULES):
+        return
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr in SHARED_SEGMENT_FIELDS):
+            yield (node.lineno,
+                   f"raw indexing of shared-segment field "
+                   f"{node.value.attr!r} outside the accessor layer — "
+                   f"go through the repro.simmpi.shm accessors so the "
+                   f"ordering discipline (and its REPRO_TSAN hook) "
+                   f"applies")
+
+
+def _check_unpaired_flag_store(func: ast.FunctionDef,
+                               ) -> Iterator[tuple[int, str]]:
+    """V109 inside one function body: a flag-constant store into a
+    subscript, in a function that is not itself an accessor verb and
+    never calls one."""
+    if func.name in _FLAG_ACCESSORS:
+        return
+    called: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name:
+                called.add(name)
+    if called & _FLAG_ACCESSORS:
+        return
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        vname = (value.id if isinstance(value, ast.Name)
+                 else value.attr if isinstance(value, ast.Attribute)
+                 else None)
+        if vname in _FLAG_CONSTANTS and any(
+                isinstance(t, ast.Subscript) for t in node.targets):
+            yield (node.lineno,
+                   f"{vname} stored into protocol state outside the "
+                   f"accessor verbs ({', '.join(sorted(_FLAG_ACCESSORS))})"
+                   f" — flag transition with no paired release/acquire "
+                   f"edge in scope")
+
+
 def lint_source(source: str, path: str = "<string>",
                 relpath: str | None = None) -> list[LintViolation]:
     """Run every rule over one module's source text."""
@@ -356,6 +439,8 @@ def lint_source(source: str, path: str = "<string>",
                         for ln, msg in _check_use_after_move(node))
             hits.extend((ln, "V105", msg)
                         for ln, msg in _check_unexposed_put(node))
+            hits.extend((ln, "V109", msg)
+                        for ln, msg in _check_unpaired_flag_store(node))
     hits.extend((ln, "V102", msg)
                 for ln, msg in _check_escaped_marker(tree))
     hits.extend((ln, "V103", msg)
@@ -366,6 +451,8 @@ def lint_source(source: str, path: str = "<string>",
                 for ln, msg in _check_pair_loop_alloc(tree))
     hits.extend((ln, "V107", msg)
                 for ln, msg in _check_loop_pickle(tree, relpath))
+    hits.extend((ln, "V108", msg)
+                for ln, msg in _check_raw_shared_access(tree, relpath))
 
     out = []
     for line, rule, message in sorted(hits):

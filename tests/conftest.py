@@ -9,7 +9,7 @@ per test package.
 import pytest
 
 from repro.schedule.indexplan import PLAN_STATS
-from repro.util.counters import TRANSPORT_STATS
+from repro.util.counters import RACE_STATS, TRANSPORT_STATS
 from repro.verify.hook import VERIFY_STATS
 
 
@@ -17,6 +17,7 @@ def _reset_all():
     TRANSPORT_STATS.reset()
     PLAN_STATS.reset()
     VERIFY_STATS.reset()
+    RACE_STATS.reset()
 
 
 @pytest.fixture(autouse=True)

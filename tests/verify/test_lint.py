@@ -276,3 +276,100 @@ def test_v107_pragma_opts_out():
                 comm.send(pickle.dumps(r), 0, 1)  # verify: allow(V107)
     """)
     assert hits == []
+
+
+# -- V108: raw shared-segment field access -----------------------------------
+
+def test_v108_raw_flag_indexing_outside_accessor_layer():
+    hits = lint("""
+        def fast_release(pool, slot):
+            pool._flags[slot] = 0
+    """, "src/repro/simmpi/procs.py")
+    assert [h.rule for h in hits] == ["V108"]
+    assert "_flags" in hits[0].message
+
+
+def test_v108_raw_done_read_outside_accessor_layer():
+    hits = lint("""
+        def peek(seg, w):
+            return seg._done[w]
+    """, "src/repro/schedule/executor.py")
+    assert [h.rule for h in hits] == ["V108"]
+
+
+def test_v108_accessor_modules_are_exempt():
+    code = """
+        def release(self, slot):
+            self._flags[slot] = _FREE
+    """
+    assert lint(code, "src/repro/simmpi/shm.py") == []
+    assert lint(code, "src/repro/simmpi/sanitize.py") == []
+
+
+def test_v108_unrelated_subscripts_are_clean():
+    hits = lint("""
+        def ok(self, table, i):
+            self.cache[i] = table[i]
+            return self.rows[i]
+    """)
+    assert hits == []
+
+
+def test_v108_pragma_opts_out():
+    hits = lint("""
+        def probe(pool, slot):
+            return pool._flags[slot]  # verify: allow(V108)
+    """, "src/repro/simmpi/procs.py")
+    assert hits == []
+
+
+# -- V109: flag transition without a paired accessor -------------------------
+
+def test_v109_flag_store_outside_accessor_verbs():
+    hits = lint("""
+        def shortcut(flags, slot):
+            flags[slot] = _BUSY
+    """)
+    assert [h.rule for h in hits] == ["V109"]
+    assert "no paired release/acquire" in hits[0].message
+
+
+def test_v109_state_constant_store_fires():
+    hits = lint("""
+        def finish(self, endpoint):
+            self.table[endpoint] = STATE_FINISHED
+    """)
+    assert [h.rule for h in hits] == ["V109"]
+
+
+def test_v109_accessor_verbs_are_exempt():
+    hits = lint("""
+        def release(self, slot):
+            self.flags[slot] = _FREE
+    """)
+    assert hits == []
+
+
+def test_v109_caller_of_accessor_is_exempt():
+    hits = lint("""
+        def teardown(self, slot):
+            self.flags[slot] = _FREE
+            self.pool.release(slot)
+    """)
+    assert hits == []
+
+
+def test_v109_nonflag_store_is_clean():
+    hits = lint("""
+        def zero(self, slot):
+            self.flags[slot] = 0
+    """)
+    assert hits == []
+
+
+def test_v109_pragma_opts_out():
+    hits = lint("""
+        def init(self):
+            self.flags[:] = _FREE  # verify: allow(V109)
+    """)
+    assert hits == []
